@@ -1,0 +1,57 @@
+// Ablation: folding style vs early-exit effectiveness.
+//
+// The confidence threshold can only raise throughput if the pipeline
+// bottleneck sits *after* the exit branch points (DESIGN.md performance
+// conventions). FINN's shipped CNV folding has that property; a uniform
+// folding does not. This bench compares the two styles: steady-state IPS at
+// all-final vs all-early exit distributions, plus total resources.
+
+#include "common.hpp"
+
+int main() {
+  using namespace adapex;
+  using namespace adapex::bench;
+
+  print_header("Ablation",
+               "folding style: FINN-CNV style vs uniform caps (early-exit "
+               "throughput headroom)");
+
+  Rng rng(7);
+  CnvConfig cfg = CnvConfig{}.scaled(ExperimentScale::from_env().width_scale);
+  BranchyModel model = build_cnv_with_exits(cfg, paper_exits_config(false), rng);
+  auto sites = walk_compute_layers(model, cfg.in_channels, cfg.image_size);
+
+  TextTable table({"folding", "ips_all_final", "ips_all_early",
+                   "ct_speedup", "lut", "bram"});
+  PowerModel power;
+  struct Style {
+    std::string name;
+    FoldingConfig config;
+  };
+  std::vector<Style> styles;
+  styles.push_back({"finn_cnv_style", styled_folding(sites)});
+  styles.push_back({"uniform_cap4", default_folding(sites, 4, 4)});
+  styles.push_back({"uniform_cap8", default_folding(sites, 8, 8)});
+  {
+    // Balanced folding targeting the styled bottleneck.
+    long target = 0;
+    Accelerator acc = compile_accelerator(model, styles[0].config,
+                                          AcceleratorConfig{});
+    for (const auto& m : acc.modules) target = std::max(target, m.cycles);
+    styles.push_back({"balanced", balanced_folding(sites, target, 64, 64)});
+  }
+
+  for (const auto& style : styles) {
+    Accelerator acc =
+        compile_accelerator(model, style.config, AcceleratorConfig{});
+    const auto all_final = estimate_performance(acc, {0.0, 0.0, 1.0}, power);
+    const auto all_early = estimate_performance(acc, {1.0, 0.0, 0.0}, power);
+    table.add_row({style.name, TextTable::num(all_final.ips, 0),
+                   TextTable::num(all_early.ips, 0),
+                   TextTable::num(all_early.ips / all_final.ips, 2),
+                   std::to_string(acc.total.lut),
+                   std::to_string(acc.total.bram)});
+  }
+  emit(table, "ablation_folding");
+  return 0;
+}

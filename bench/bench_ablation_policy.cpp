@@ -1,0 +1,53 @@
+// Ablation: runtime search-policy knobs.
+//
+// Two knobs of the Runtime Manager beyond the paper's defaults:
+//   - accuracy threshold (the user budget; paper uses 10%),
+//   - throughput headroom (feasibility margin over the measured workload).
+// This bench sweeps both and reports the loss/accuracy/QoE frontier —
+// showing the budget knob trading accuracy for served volume exactly as
+// the paper describes ("this cost is controlled by the user through the
+// accuracy threshold").
+
+#include "common.hpp"
+
+int main() {
+  using namespace adapex;
+  using namespace adapex::bench;
+
+  print_header("Ablation", "runtime policy: accuracy budget & headroom");
+  Library lib = bench_library(cifar10_like_spec());
+  EdgeScenario scenario = scale_to_library(EdgeScenario{}, lib, 1.30);
+  scenario.seed = 42;
+  constexpr int kRuns = 30;
+
+  TextTable budget({"accuracy_budget_pct", "loss_pct", "accuracy_pct",
+                    "qoe_pct", "edp_uj_s"});
+  for (double b : {0.02, 0.05, 0.10, 0.20, 0.40}) {
+    RuntimePolicy policy{AdaptPolicy::kAdaPEx, b};
+    auto m = simulate_edge_runs(lib, policy, scenario, kRuns);
+    budget.add_row({TextTable::num(b * 100, 0),
+                    TextTable::num(m.inference_loss_pct, 2),
+                    TextTable::num(m.accuracy * 100, 2),
+                    TextTable::num(m.qoe * 100, 2),
+                    TextTable::num(m.edp * 1e6, 3)});
+  }
+  std::cout << "-- accuracy budget sweep --\n";
+  emit(budget, "ablation_policy_budget");
+
+  TextTable headroom({"ips_headroom", "loss_pct", "accuracy_pct", "qoe_pct",
+                      "reconfigs_per_run"});
+  for (double h : {1.0, 1.05, 1.1, 1.25, 1.5}) {
+    RuntimePolicy policy{AdaptPolicy::kAdaPEx, 0.10, h};
+    auto m = simulate_edge_runs(lib, policy, scenario, kRuns);
+    headroom.add_row({TextTable::num(h, 2),
+                      TextTable::num(m.inference_loss_pct, 2),
+                      TextTable::num(m.accuracy * 100, 2),
+                      TextTable::num(m.qoe * 100, 2),
+                      TextTable::num(static_cast<double>(m.reconfigurations) /
+                                         kRuns,
+                                     1)});
+  }
+  std::cout << "\n-- throughput headroom sweep --\n";
+  emit(headroom, "ablation_policy_headroom");
+  return 0;
+}

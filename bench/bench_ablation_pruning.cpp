@@ -1,0 +1,63 @@
+// Ablation: dataflow-aware pruning vs naive pruning.
+//
+// DESIGN.md calls out the dataflow-aware constraints ((remaining % PE) == 0
+// and (remaining % SIMD_consumer) == 0) as the property that keeps every
+// pruned model synthesizable against the user's folding. This bench
+// quantifies both sides:
+//   - synthesizability: the fraction of pruning rates whose naively pruned
+//     model still validates against the folding config (paper's point: the
+//     constraints make this 100% by construction);
+//   - fidelity cost: how far the achieved pruning rate falls short of the
+//     requested rate because of the constraints.
+
+#include "common.hpp"
+
+int main() {
+  using namespace adapex;
+  using namespace adapex::bench;
+
+  print_header("Ablation", "dataflow-aware vs naive pruning");
+
+  Rng rng(99);
+  CnvConfig cfg = CnvConfig{}.scaled(ExperimentScale::from_env().width_scale);
+  TextTable table({"requested_pct", "aware_achieved_pct",
+                   "aware_synthesizable", "naive_achieved_pct",
+                   "naive_synthesizable"});
+  int aware_ok = 0, naive_ok = 0, total = 0;
+  for (int rate = 0; rate <= 85; rate += 5) {
+    BranchyModel base = build_cnv_with_exits(cfg, paper_exits_config(false), rng);
+    auto sites = walk_compute_layers(base, cfg.in_channels, cfg.image_size);
+    const FoldingConfig folding = styled_folding(sites);
+
+    auto run = [&](bool naive) {
+      BranchyModel model = base.clone();
+      PruneOptions opts;
+      opts.rate = rate / 100.0;
+      opts.folding = folding;
+      opts.ignore_dataflow_constraints = naive;
+      auto report = prune_model(model, opts);
+      bool synthesizable = true;
+      try {
+        auto pruned_sites =
+            walk_compute_layers(model, cfg.in_channels, cfg.image_size);
+        validate_folding(pruned_sites, folding);
+      } catch (const ConfigError&) {
+        synthesizable = false;
+      }
+      return std::make_pair(report.achieved_rate, synthesizable);
+    };
+    const auto [aware_rate, aware_synth] = run(false);
+    const auto [naive_rate, naive_synth] = run(true);
+    aware_ok += aware_synth ? 1 : 0;
+    naive_ok += naive_synth ? 1 : 0;
+    ++total;
+    table.add_row({std::to_string(rate), TextTable::num(aware_rate * 100, 1),
+                   aware_synth ? "yes" : "NO",
+                   TextTable::num(naive_rate * 100, 1),
+                   naive_synth ? "yes" : "NO"});
+  }
+  emit(table, "ablation_pruning");
+  std::cout << "\nsynthesizable configs: dataflow-aware " << aware_ok << "/"
+            << total << ", naive " << naive_ok << "/" << total << "\n";
+  return 0;
+}

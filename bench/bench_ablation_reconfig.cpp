@@ -1,0 +1,46 @@
+// Ablation: sensitivity of the runtime results to the FPGA reconfiguration
+// cost.
+//
+// The paper measured ~145 ms per reconfiguration on the ZCU104. This bench
+// sweeps the cost from free to 10x and reports AdaPEx's inference loss and
+// QoE: cheap reconfiguration lets the manager track the workload closely;
+// expensive reconfiguration makes every pruning-rate switch hurt, shrinking
+// AdaPEx's margin over CT-Only (which never reconfigures).
+
+#include "common.hpp"
+
+int main() {
+  using namespace adapex;
+  using namespace adapex::bench;
+
+  print_header("Ablation", "reconfiguration cost sensitivity");
+
+  Library lib = bench_library(cifar10_like_spec());
+  EdgeScenario scenario = scale_to_library(EdgeScenario{}, lib, 1.30);
+  scenario.seed = 42;
+  constexpr int kRuns = 30;
+
+  TextTable table({"reconfig_scale", "reconfig_ms", "adapex_loss_pct",
+                   "adapex_qoe_pct", "reconfigs_per_run", "ct_only_qoe_pct"});
+  const auto ct_only =
+      simulate_edge_runs(lib, {AdaptPolicy::kCtOnly, 0.10}, scenario, kRuns);
+  for (double mult : {0.0, 0.5, 1.0, 2.0, 5.0, 10.0}) {
+    Library scaled = lib;
+    double ms = 0.0;
+    for (auto& a : scaled.accelerators) {
+      a.reconfig_ms = a.reconfig_ms * mult;
+      ms = a.reconfig_ms;
+    }
+    const auto m = simulate_edge_runs(scaled, {AdaptPolicy::kAdaPEx, 0.10},
+                                      scenario, kRuns);
+    table.add_row({TextTable::num(mult, 1), TextTable::num(ms, 0),
+                   TextTable::num(m.inference_loss_pct, 2),
+                   TextTable::num(m.qoe * 100.0, 2),
+                   TextTable::num(static_cast<double>(m.reconfigurations) /
+                                      kRuns,
+                                  1),
+                   TextTable::num(ct_only.qoe * 100.0, 2)});
+  }
+  emit(table, "ablation_reconfig");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// FIFO sizing report — the simulation-driven step behind the paper's
+// observation that early-exit overhead lands mainly in BRAM: the branch
+// module duplicates the feature-map stream, and the copy must be buffered
+// while the (slower) exit head drains it.
+//
+// Prints the per-link depth requirements for the early-exit CNV at several
+// exit mixes, highlighting the branch links, plus the total FIFO BRAM
+// budget per configuration.
+
+#include "common.hpp"
+
+#include "finn/fifo_sizing.hpp"
+
+int main() {
+  using namespace adapex;
+  using namespace adapex::bench;
+
+  print_header("FIFO sizing",
+               "simulation-driven FIFO depths (branch links dominate BRAM)");
+
+  Rng rng(47);
+  CnvConfig cfg = CnvConfig{}.scaled(ExperimentScale::from_env().width_scale);
+  BranchyModel model = build_cnv_with_exits(cfg, paper_exits_config(false), rng);
+  auto sites = walk_compute_layers(model, cfg.in_channels, cfg.image_size);
+  Accelerator acc =
+      compile_accelerator(model, styled_folding(sites), AcceleratorConfig{});
+
+  struct Mix {
+    const char* name;
+    int pattern_mod;  // image i exits at (i % 4 < pattern_mod) ? 0 : 2
+  };
+  TextTable totals({"exit_mix", "total_fifo_bram", "max_link_depth_images"});
+  for (Mix mix : {Mix{"all_final", 0}, Mix{"half_early", 2},
+                  Mix{"mostly_early", 3}}) {
+    std::vector<int> exits(96);
+    for (std::size_t i = 0; i < exits.size(); ++i) {
+      exits[i] = static_cast<int>(i % 4) < mix.pattern_mod ? 0 : 2;
+    }
+    auto reqs = size_fifos(acc, exits);
+    int max_depth = 0;
+    for (const auto& r : reqs) max_depth = std::max(max_depth, r.depth_images);
+    totals.add_row({mix.name, std::to_string(total_fifo_bram(reqs)),
+                    std::to_string(max_depth)});
+
+    if (mix.pattern_mod == 2) {
+      std::cout << "-- per-link report (half_early) --\n";
+      TextTable links({"link", "depth_images", "depth_elements", "bram"});
+      for (const auto& r : reqs) {
+        const auto& p = acc.modules[static_cast<std::size_t>(r.producer)];
+        const auto& c = acc.modules[static_cast<std::size_t>(r.consumer)];
+        links.add_row({p.name + " -> " + c.name,
+                       std::to_string(r.depth_images),
+                       std::to_string(r.depth_elements),
+                       std::to_string(r.bram)});
+      }
+      emit(links, "fifo_sizing_links");
+      std::cout << "\n";
+    }
+  }
+  emit(totals, "fifo_sizing_totals");
+  return 0;
+}

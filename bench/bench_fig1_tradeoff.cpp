@@ -1,0 +1,114 @@
+// Figure 1: accuracy (a) and energy per inference (b) vs pruning rate for
+// CNVW2A2 on the CIFAR-10-like dataset — the no-early-exit model against
+// the early-exit model at confidence thresholds 5, 50, and 95%.
+//
+// Expected shapes (paper section I): accuracy drops with pruning for all
+// configurations; the low threshold (5%) is the *worst* at light pruning
+// but becomes the *best* at heavy pruning (the crossover that motivates
+// co-optimization); early-exit saves energy over no-exit only up to
+// moderate pruning rates, after which the extra exit circuitry costs more
+// than the skipped backbone tail saves.
+
+#include "common.hpp"
+
+int main() {
+  using namespace adapex;
+  using namespace adapex::bench;
+
+  print_header("Figure 1",
+               "accuracy & energy vs pruning rate, no-EE vs EE @ CT 5/50/95"
+               " (CIFAR-10-like)");
+  Library lib = bench_library(cifar10_like_spec());
+
+  const std::vector<int> cts = {5, 50, 95};
+  TextTable table({"prune_rate_pct", "acc_no_ee", "acc_ct5", "acc_ct50",
+                   "acc_ct95", "mj_no_ee", "mj_ct5", "mj_ct50", "mj_ct95"});
+
+  // Collect per rate: the no-exit entry and the not-pruned-exits entries at
+  // the three thresholds (Figure 1 uses the not-pruned-exit configuration).
+  std::vector<int> rates;
+  for (const auto& e : lib.entries) {
+    if (e.variant == ModelVariant::kNoExit &&
+        std::find(rates.begin(), rates.end(), e.prune_rate_pct) ==
+            rates.end()) {
+      rates.push_back(e.prune_rate_pct);
+    }
+  }
+  std::sort(rates.begin(), rates.end());
+
+  auto find_entry = [&](ModelVariant v, int rate, int ct) -> const LibraryEntry* {
+    for (const auto& e : lib.entries) {
+      if (e.variant == v && e.prune_rate_pct == rate &&
+          e.conf_threshold_pct == ct) {
+        return &e;
+      }
+    }
+    return nullptr;
+  };
+
+  for (int rate : rates) {
+    const LibraryEntry* base = find_entry(ModelVariant::kNoExit, rate, -1);
+    if (base == nullptr) continue;
+    std::vector<std::string> row{std::to_string(rate),
+                                 TextTable::num(base->accuracy, 3)};
+    std::vector<std::string> energy{TextTable::num(base->energy_per_inf_j * 1e3, 4)};
+    bool complete = true;
+    for (int ct : cts) {
+      const LibraryEntry* e =
+          find_entry(ModelVariant::kNotPrunedExits, rate, ct);
+      if (e == nullptr) {
+        complete = false;
+        break;
+      }
+      row.push_back(TextTable::num(e->accuracy, 3));
+      energy.push_back(TextTable::num(e->energy_per_inf_j * 1e3, 4));
+    }
+    if (!complete) continue;
+    for (auto& v : energy) row.push_back(std::move(v));
+    table.add_row(std::move(row));
+  }
+  emit(table, "fig1_tradeoff");
+
+  // The actionable form of the Figure 1(a) crossover: the accuracy-optimal
+  // confidence threshold decreases as the pruning rate grows (early exits
+  // take over from the crippled backbone). Printed per rate.
+  TextTable best({"prune_rate_pct", "best_ct_pct", "best_acc",
+                  "acc_at_ct100"});
+  for (int rate : rates) {
+    int best_ct = -1;
+    double best_acc = -1.0, acc100 = 0.0;
+    for (const auto& e : lib.entries) {
+      if (e.variant != ModelVariant::kNotPrunedExits ||
+          e.prune_rate_pct != rate) {
+        continue;
+      }
+      if (e.accuracy > best_acc) {
+        best_acc = e.accuracy;
+        best_ct = e.conf_threshold_pct;
+      }
+      if (e.conf_threshold_pct == 100) acc100 = e.accuracy;
+    }
+    if (best_ct < 0) continue;
+    best.add_row({std::to_string(rate), std::to_string(best_ct),
+                  TextTable::num(best_acc, 3), TextTable::num(acc100, 3)});
+  }
+  std::cout << "\n-- accuracy-optimal confidence threshold per rate --\n";
+  emit(best, "fig1_best_ct");
+
+  // Headline checks printed for EXPERIMENTS.md.
+  const LibraryEntry* light_ct5 = find_entry(ModelVariant::kNotPrunedExits, 0, 5);
+  const LibraryEntry* light_ct95 = find_entry(ModelVariant::kNotPrunedExits, 0, 95);
+  const int heavy = rates.back();
+  const LibraryEntry* heavy_ct5 =
+      find_entry(ModelVariant::kNotPrunedExits, heavy, 5);
+  const LibraryEntry* heavy_ct95 =
+      find_entry(ModelVariant::kNotPrunedExits, heavy, 95);
+  if (light_ct5 && light_ct95 && heavy_ct5 && heavy_ct95) {
+    std::cout << "\ncrossover check: light pruning CT5-CT95 accuracy delta = "
+              << TextTable::num(light_ct5->accuracy - light_ct95->accuracy, 3)
+              << " (paper: negative); heavy pruning delta = "
+              << TextTable::num(heavy_ct5->accuracy - heavy_ct95->accuracy, 3)
+              << " (paper: positive)\n";
+  }
+  return 0;
+}

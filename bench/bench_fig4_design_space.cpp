@@ -1,0 +1,41 @@
+// Figure 4: the design space AdaPEx opens — every (pruning rate, confidence
+// threshold, exit-pruning variant) operating point plotted as throughput
+// (IPS) vs accuracy (plots a, c) and energy per inference vs accuracy
+// (plots b, d), for both datasets.
+//
+// Expected shapes: a broad Pareto frontier where higher accuracy costs
+// throughput and energy; pruned-exit points (squares in the paper) extend
+// the fast/low-energy end, not-pruned-exit points (circles) the accurate
+// end; and an energy plateau beyond which extra joules buy no accuracy.
+
+#include "common.hpp"
+
+int main() {
+  using namespace adapex;
+  using namespace adapex::bench;
+
+  print_header("Figure 4",
+               "design space: IPS vs accuracy and energy vs accuracy, both "
+               "datasets, pruned & not-pruned exits");
+
+  for (const auto& dataset : {cifar10_like_spec(), gtsrb_like_spec()}) {
+    Library lib = bench_library(dataset);
+    TextTable table({"variant", "prune_rate_pct", "conf_threshold_pct",
+                     "accuracy", "ips", "mj_per_inf"});
+    double best_acc = 0.0, best_ips = 0.0;
+    for (const auto& e : lib.entries) {
+      if (e.variant == ModelVariant::kNoExit) continue;  // Fig 4 is EE space
+      table.add_row({to_string(e.variant), std::to_string(e.prune_rate_pct),
+                     std::to_string(e.conf_threshold_pct),
+                     TextTable::num(e.accuracy, 3), TextTable::num(e.ips, 0),
+                     TextTable::num(e.energy_per_inf_j * 1e3, 4)});
+      best_acc = std::max(best_acc, e.accuracy);
+      best_ips = std::max(best_ips, e.ips);
+    }
+    emit(table, "fig4_design_space_" + lib.dataset);
+    std::cout << "dataset " << lib.dataset << ": " << table.csv().size()
+              << " bytes, max accuracy " << TextTable::num(best_acc, 3)
+              << ", max IPS " << TextTable::num(best_ips, 0) << "\n\n";
+  }
+  return 0;
+}

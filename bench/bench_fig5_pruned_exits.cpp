@@ -1,0 +1,111 @@
+// Figure 5: the pruned-exits design decision.
+//
+// Plots (a)-(d): average accuracy and latency vs pruning rate at confidence
+// thresholds 5, 25, 50, 75% for "Pruned Exits" vs "Not Pruned Exits" on the
+// CIFAR-10-like dataset. Expected shape: not pruning the exits recovers
+// accuracy at heavy pruning + low thresholds (the exits, still full-width,
+// out-resolve the shrunken backbone); latency drops with pruning,
+// especially at low thresholds.
+//
+// Plot (e): BRAM/LUT/FF utilization vs pruning rate for both variants.
+// Expected shape: negligible difference at light pruning; at heavy pruning
+// the not-pruned exits' share grows (most visibly in BRAM — the branch
+// FIFOs and exit buffers), so the purple/green curves separate.
+
+#include "common.hpp"
+
+namespace {
+
+const adapex::LibraryEntry* find_entry(const adapex::Library& lib,
+                                       adapex::ModelVariant v, int rate,
+                                       int ct) {
+  using adapex::ModelVariant;
+  for (const auto& e : lib.entries) {
+    if (e.variant == v && e.prune_rate_pct == rate &&
+        e.conf_threshold_pct == ct) {
+      return &e;
+    }
+  }
+  // Rate 0 pruned-exits is deduplicated into not-pruned-exits.
+  if (v == ModelVariant::kPrunedExits && rate == 0) {
+    return find_entry(lib, ModelVariant::kNotPrunedExits, rate, ct);
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main() {
+  using namespace adapex;
+  using namespace adapex::bench;
+
+  print_header("Figure 5",
+               "accuracy & latency vs pruning rate, pruned vs not-pruned "
+               "exits; resource usage (CIFAR-10-like)");
+  Library lib = bench_library(cifar10_like_spec());
+
+  std::vector<int> rates;
+  for (const auto& a : lib.accelerators) {
+    if (std::find(rates.begin(), rates.end(), a.prune_rate_pct) ==
+        rates.end()) {
+      rates.push_back(a.prune_rate_pct);
+    }
+  }
+  std::sort(rates.begin(), rates.end());
+
+  for (int ct : {5, 25, 50, 75}) {
+    TextTable table({"prune_rate_pct", "acc_pruned_exits",
+                     "acc_not_pruned_exits", "lat_ms_pruned_exits",
+                     "lat_ms_not_pruned_exits"});
+    for (int rate : rates) {
+      const auto* pe = find_entry(lib, ModelVariant::kPrunedExits, rate, ct);
+      const auto* npe =
+          find_entry(lib, ModelVariant::kNotPrunedExits, rate, ct);
+      if (pe == nullptr || npe == nullptr) continue;
+      table.add_row({std::to_string(rate), TextTable::num(pe->accuracy, 3),
+                     TextTable::num(npe->accuracy, 3),
+                     TextTable::num(pe->latency_ms, 4),
+                     TextTable::num(npe->latency_ms, 4)});
+    }
+    std::cout << "-- C.T. = " << ct << "% --\n";
+    emit(table, "fig5_ct" + std::to_string(ct));
+    std::cout << "\n";
+  }
+
+  // Plot (e): resources. Valid for all thresholds (hardware is unchanged by
+  // the threshold).
+  TextTable res({"prune_rate_pct", "variant", "bram", "lut", "ff",
+                 "exit_share_bram_pct", "exit_share_lut_pct",
+                 "exit_share_ff_pct"});
+  for (int rate : rates) {
+    for (ModelVariant v :
+         {ModelVariant::kPrunedExits, ModelVariant::kNotPrunedExits}) {
+      const AcceleratorRecord* rec = nullptr;
+      for (const auto& a : lib.accelerators) {
+        if (a.variant == v && a.prune_rate_pct == rate) rec = &a;
+      }
+      if (rec == nullptr && v == ModelVariant::kPrunedExits && rate == 0) {
+        for (const auto& a : lib.accelerators) {
+          if (a.variant == ModelVariant::kNotPrunedExits &&
+              a.prune_rate_pct == 0) {
+            rec = &a;
+          }
+        }
+      }
+      if (rec == nullptr) continue;
+      auto share = [&](long part, long total) {
+        return total > 0 ? 100.0 * static_cast<double>(part) / total : 0.0;
+      };
+      res.add_row(
+          {std::to_string(rate), to_string(v),
+           std::to_string(rec->resources.bram),
+           std::to_string(rec->resources.lut), std::to_string(rec->resources.ff),
+           TextTable::num(share(rec->exit_overhead.bram, rec->resources.bram), 1),
+           TextTable::num(share(rec->exit_overhead.lut, rec->resources.lut), 1),
+           TextTable::num(share(rec->exit_overhead.ff, rec->resources.ff), 1)});
+    }
+  }
+  std::cout << "-- plot (e): resources --\n";
+  emit(res, "fig5e_resources");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Figure 6: average Energy-Delay Product normalized to the original FINN
+// accelerator (bars) and Quality of Experience (curves; accuracy x fraction
+// of processed frames), for both datasets.
+//
+// Expected shapes: AdaPEx achieves the highest QoE on both datasets and the
+// lowest normalized EDP (the paper reports 2x / 2.55x EDP reduction vs
+// FINN); PR-Only and CT-Only land between AdaPEx and FINN.
+
+#include "common.hpp"
+
+int main() {
+  using namespace adapex;
+  using namespace adapex::bench;
+
+  print_header("Figure 6", "EDP (normalized to FINN) and QoE, both datasets");
+
+  constexpr int kRuns = 100;
+  TextTable table({"system", "dataset", "edp_norm_vs_finn", "qoe_pct",
+                   "energy_per_inf_mj", "qoe_gain_vs_finn_pct"});
+  for (const auto& dataset : {cifar10_like_spec(), gtsrb_like_spec()}) {
+    Library lib = bench_library(dataset);
+    EdgeScenario scenario = scale_to_library(EdgeScenario{}, lib, 1.30);
+    scenario.seed = 42;
+
+    const auto finn = simulate_edge_runs(
+        lib, {AdaptPolicy::kStaticFinn, 0.10}, scenario, kRuns);
+    for (AdaptPolicy policy :
+         {AdaptPolicy::kAdaPEx, AdaptPolicy::kPrOnly, AdaptPolicy::kCtOnly,
+          AdaptPolicy::kStaticFinn}) {
+      const auto m =
+          policy == AdaptPolicy::kStaticFinn
+              ? finn
+              : simulate_edge_runs(lib, {policy, 0.10}, scenario, kRuns);
+      table.add_row(
+          {to_string(policy), lib.dataset,
+           TextTable::num(m.edp / finn.edp, 3),
+           TextTable::num(m.qoe * 100.0, 2),
+           TextTable::num(m.energy_per_inf_j * 1e3, 4),
+           TextTable::num((m.qoe / finn.qoe - 1.0) * 100.0, 2)});
+    }
+  }
+  emit(table, "fig6_edp_qoe");
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Micro-benchmarks (google-benchmark) of the hot kernels: the conv/GEMM
+// training kernels, the early-exit evaluation path, the accelerator
+// compile, and the event-driven pipeline simulator. These bound the cost of
+// a library-generation run and catch performance regressions.
+
+#include <benchmark/benchmark.h>
+
+#include "core/adapex.hpp"
+#include "tensor/ops.hpp"
+
+namespace {
+
+using namespace adapex;
+
+void BM_GemmAccumulate(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<float> a(static_cast<std::size_t>(n) * n, 1.5f);
+  std::vector<float> b(static_cast<std::size_t>(n) * n, 0.5f);
+  std::vector<float> c(static_cast<std::size_t>(n) * n, 0.0f);
+  for (auto _ : state) {
+    ops::gemm_accumulate(a.data(), b.data(), c.data(), n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2L * n * n * n);
+}
+BENCHMARK(BM_GemmAccumulate)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Conv2dForward(benchmark::State& state) {
+  Rng rng(1);
+  Tensor x({8, 16, 16, 16});
+  x.randn_(rng, 1.0f);
+  Tensor w({32, 16, 3, 3});
+  w.randn_(rng, 0.5f);
+  Tensor bias;
+  std::vector<float> scratch;
+  for (auto _ : state) {
+    Tensor y = ops::conv2d_forward(x, w, bias, scratch);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_Conv2dForward);
+
+void BM_CnvInference(benchmark::State& state) {
+  Rng rng(2);
+  CnvConfig cfg = CnvConfig{}.scaled(0.25);
+  BranchyModel model = build_cnv_with_exits(cfg, paper_exits_config(false), rng);
+  Tensor x({1, 3, 32, 32});
+  x.randn_(rng, 1.0f);
+  for (auto _ : state) {
+    auto outs = model.forward(x, false);
+    benchmark::DoNotOptimize(outs.back().data());
+  }
+}
+BENCHMARK(BM_CnvInference);
+
+void BM_CompileAccelerator(benchmark::State& state) {
+  Rng rng(3);
+  CnvConfig cfg = CnvConfig{}.scaled(0.25);
+  BranchyModel model = build_cnv_with_exits(cfg, paper_exits_config(false), rng);
+  auto sites = walk_compute_layers(model, cfg.in_channels, cfg.image_size);
+  auto folding = styled_folding(sites);
+  for (auto _ : state) {
+    Accelerator acc = compile_accelerator(model, folding, AcceleratorConfig{});
+    benchmark::DoNotOptimize(acc.total.lut);
+  }
+}
+BENCHMARK(BM_CompileAccelerator);
+
+void BM_PipelineSim(benchmark::State& state) {
+  Rng rng(4);
+  CnvConfig cfg = CnvConfig{}.scaled(0.25);
+  BranchyModel model = build_cnv_with_exits(cfg, paper_exits_config(false), rng);
+  auto sites = walk_compute_layers(model, cfg.in_channels, cfg.image_size);
+  auto folding = styled_folding(sites);
+  Accelerator acc = compile_accelerator(model, folding, AcceleratorConfig{});
+  std::vector<int> exits(static_cast<std::size_t>(state.range(0)));
+  for (std::size_t i = 0; i < exits.size(); ++i) exits[i] = static_cast<int>(i % 3);
+  for (auto _ : state) {
+    auto result = simulate_pipeline(acc, exits);
+    benchmark::DoNotOptimize(result.steady_ii_cycles);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PipelineSim)->Arg(128)->Arg(1024);
+
+void BM_EdgeEpisode(benchmark::State& state) {
+  // A synthetic two-entry library keeps this independent of training.
+  Library lib;
+  lib.dataset = "bench";
+  lib.reference_accuracy = 0.9;
+  lib.static_power_w = 0.7;
+  AcceleratorRecord a0;
+  a0.id = 0;
+  lib.accelerators.push_back(a0);
+  AcceleratorRecord a1;
+  a1.id = 1;
+  a1.prune_rate_pct = 50;
+  lib.accelerators.push_back(a1);
+  LibraryEntry e0;
+  e0.accel_id = 0;
+  e0.variant = ModelVariant::kNotPrunedExits;
+  e0.conf_threshold_pct = 50;
+  e0.accuracy = 0.9;
+  e0.exit_fractions = {0.5, 0.5};
+  e0.ips = 500;
+  e0.latency_ms = 3.0;
+  e0.peak_power_w = 1.3;
+  e0.energy_per_inf_j = 0.004;
+  lib.entries.push_back(e0);
+  LibraryEntry e1 = e0;
+  e1.accel_id = 1;
+  e1.prune_rate_pct = 50;
+  e1.accuracy = 0.8;
+  e1.ips = 1200;
+  lib.entries.push_back(e1);
+
+  EdgeScenario sc;
+  sc.cameras = 20;
+  sc.ips_per_camera = 30;
+  for (auto _ : state) {
+    auto m = simulate_edge(lib, {AdaptPolicy::kAdaPEx, 0.10}, sc);
+    benchmark::DoNotOptimize(m.qoe);
+  }
+}
+BENCHMARK(BM_EdgeEpisode);
+
+}  // namespace
+
+BENCHMARK_MAIN();

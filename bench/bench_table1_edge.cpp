@@ -1,0 +1,50 @@
+// Table I: averaged inference loss, accuracy, power, and latency over the
+// 25-second smart-surveillance episodes (100 runs), for AdaPEx and the
+// PR-Only / CT-Only / static-FINN baselines on both datasets.
+//
+// Expected shapes: AdaPEx has (near-)zero inference loss on both datasets
+// while FINN loses ~20+%; AdaPEx latency is the lowest; AdaPEx accuracy
+// sits below FINN's (the cost of adaptation) but within the configured 10%
+// accuracy-loss budget; early-exit circuitry shows up as a power premium of
+// the EE-based systems over the no-exit ones.
+//
+// Workload calibration: the paper offers 600 requests/s against a ~460 IPS
+// full-model accelerator (FINN loses 22.8%). Our reduced-scale accelerator
+// has a different absolute capacity, so the scenario is scaled to offer
+// 1.30x the static-FINN throughput — the same overload regime.
+
+#include "common.hpp"
+
+int main() {
+  using namespace adapex;
+  using namespace adapex::bench;
+
+  print_header("Table I",
+               "inference loss / accuracy / power / latency, 4 systems x 2 "
+               "datasets, 100 runs each");
+
+  constexpr int kRuns = 100;
+  TextTable table({"system", "dataset", "infer_loss_pct", "accuracy_pct",
+                   "power_w", "latency_ms", "reconfigs_per_run"});
+  for (const auto& dataset : {cifar10_like_spec(), gtsrb_like_spec()}) {
+    Library lib = bench_library(dataset);
+    EdgeScenario scenario = scale_to_library(EdgeScenario{}, lib, 1.30);
+    scenario.seed = 42;
+    for (AdaptPolicy policy :
+         {AdaptPolicy::kAdaPEx, AdaptPolicy::kPrOnly, AdaptPolicy::kCtOnly,
+          AdaptPolicy::kStaticFinn}) {
+      const auto m =
+          simulate_edge_runs(lib, {policy, 0.10}, scenario, kRuns);
+      table.add_row({to_string(policy), lib.dataset,
+                     TextTable::num(m.inference_loss_pct, 2),
+                     TextTable::num(m.accuracy * 100.0, 2),
+                     TextTable::num(m.avg_power_w, 3),
+                     TextTable::num(m.avg_latency_ms, 3),
+                     TextTable::num(static_cast<double>(m.reconfigurations) /
+                                        kRuns,
+                                    1)});
+    }
+  }
+  emit(table, "table1_edge");
+  return 0;
+}

@@ -1,0 +1,162 @@
+// adapex_cli — command-line front end to the AdaPEx flow.
+//
+//   adapex_cli generate [--dataset cifar|gtsrb] [--out DIR]
+//       Run the design-time flow at the ADAPEX_SCALE preset and cache the
+//       library.
+//   adapex_cli inspect LIBRARY.json [--top N]
+//       Summarize a library: reference accuracy, accelerators, and the
+//       Pareto-best operating points.
+//   adapex_cli serve LIBRARY.json [--policy adapex|pr|ct|finn]
+//       [--ratio R] [--runs N] [--threshold T]
+//       Serve edge episodes at R x FINN capacity and print the metrics.
+//
+// Exit code 0 on success, 1 on usage errors, 2 on runtime failures.
+
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "common/table.hpp"
+#include "core/adapex.hpp"
+
+namespace {
+
+using namespace adapex;
+
+int usage() {
+  std::cerr <<
+      "usage:\n"
+      "  adapex_cli generate [--dataset cifar|gtsrb] [--out DIR]\n"
+      "  adapex_cli inspect LIBRARY.json [--top N]\n"
+      "  adapex_cli serve LIBRARY.json [--policy adapex|pr|ct|finn]\n"
+      "             [--ratio R] [--runs N] [--threshold T]\n";
+  return 1;
+}
+
+std::map<std::string, std::string> parse_flags(int argc, char** argv,
+                                               int start) {
+  std::map<std::string, std::string> flags;
+  for (int i = start; i + 1 < argc; i += 2) {
+    if (std::strncmp(argv[i], "--", 2) != 0) {
+      throw ConfigError(std::string("expected a --flag, got ") + argv[i]);
+    }
+    flags[argv[i] + 2] = argv[i + 1];
+  }
+  return flags;
+}
+
+int cmd_generate(int argc, char** argv) {
+  auto flags = parse_flags(argc, argv, 2);
+  const std::string ds = flags.count("dataset") ? flags["dataset"] : "cifar";
+  const std::string out =
+      flags.count("out") ? flags["out"] : default_artifact_dir();
+  SyntheticSpec dataset =
+      ds == "gtsrb" ? gtsrb_like_spec() : cifar10_like_spec();
+  auto spec = make_gen_spec(dataset, ExperimentScale::from_env());
+  spec.on_progress = [](const std::string& s) {
+    std::cerr << "  " << s << "\n";
+  };
+  Library lib = generate_or_load_library(spec, out);
+  std::cout << "library ready: " << lib.entries.size() << " entries, "
+            << lib.accelerators.size() << " accelerators, reference accuracy "
+            << lib.reference_accuracy << "\n"
+            << "cached under " << out << "/library_"
+            << library_cache_key(spec) << ".json\n";
+  return 0;
+}
+
+int cmd_inspect(int argc, char** argv) {
+  if (argc < 3) return usage();
+  auto flags = parse_flags(argc, argv, 3);
+  const int top = flags.count("top") ? std::stoi(flags["top"]) : 10;
+  Library lib = Library::load(argv[2]);
+  std::cout << "dataset: " << lib.dataset << "\nreference accuracy: "
+            << lib.reference_accuracy << "\nentries: " << lib.entries.size()
+            << ", accelerators: " << lib.accelerators.size() << "\n\n";
+
+  // Pareto frontier on (accuracy up, ips up).
+  std::vector<const LibraryEntry*> frontier;
+  for (const auto& e : lib.entries) {
+    bool dominated = false;
+    for (const auto& o : lib.entries) {
+      if (o.accuracy >= e.accuracy && o.ips >= e.ips &&
+          (o.accuracy > e.accuracy || o.ips > e.ips)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) frontier.push_back(&e);
+  }
+  std::sort(frontier.begin(), frontier.end(),
+            [](const LibraryEntry* a, const LibraryEntry* b) {
+              return a->accuracy > b->accuracy;
+            });
+  TextTable table({"variant", "rate%", "ct%", "accuracy", "ips", "mj/inf"});
+  int shown = 0;
+  for (const auto* e : frontier) {
+    if (shown++ >= top) break;
+    table.add_row({to_string(e->variant), std::to_string(e->prune_rate_pct),
+                   std::to_string(e->conf_threshold_pct),
+                   TextTable::num(e->accuracy, 3), TextTable::num(e->ips, 0),
+                   TextTable::num(e->energy_per_inf_j * 1e3, 4)});
+  }
+  std::cout << "accuracy-throughput Pareto frontier (top " << top << "):\n";
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_serve(int argc, char** argv) {
+  if (argc < 3) return usage();
+  auto flags = parse_flags(argc, argv, 3);
+  Library lib = Library::load(argv[2]);
+  AdaptPolicy policy = AdaptPolicy::kAdaPEx;
+  if (flags.count("policy")) {
+    const std::string p = flags["policy"];
+    if (p == "adapex") policy = AdaptPolicy::kAdaPEx;
+    else if (p == "pr") policy = AdaptPolicy::kPrOnly;
+    else if (p == "ct") policy = AdaptPolicy::kCtOnly;
+    else if (p == "finn") policy = AdaptPolicy::kStaticFinn;
+    else throw ConfigError("unknown policy: " + p);
+  }
+  const double ratio =
+      flags.count("ratio") ? std::stod(flags["ratio"]) : 1.3;
+  const int runs = flags.count("runs") ? std::stoi(flags["runs"]) : 20;
+  const double threshold =
+      flags.count("threshold") ? std::stod(flags["threshold"]) : 0.10;
+
+  EdgeScenario scenario = scale_to_library(EdgeScenario{}, lib, ratio);
+  EdgeMetrics m = simulate_edge_runs(lib, {policy, threshold}, scenario, runs);
+  TextTable table({"metric", "value"});
+  table.add_row({"policy", to_string(policy)});
+  table.add_row({"offered load", TextTable::num(scenario.offered_ips(), 0) +
+                                     " ips (" + TextTable::num(ratio, 2) +
+                                     "x FINN)"});
+  table.add_row({"inference loss", TextTable::num(m.inference_loss_pct, 2) + " %"});
+  table.add_row({"accuracy", TextTable::num(m.accuracy * 100, 2) + " %"});
+  table.add_row({"avg latency", TextTable::num(m.avg_latency_ms, 3) + " ms"});
+  table.add_row({"avg power", TextTable::num(m.avg_power_w, 3) + " W"});
+  table.add_row({"energy/inf", TextTable::num(m.energy_per_inf_j * 1e3, 4) + " mJ"});
+  table.add_row({"EDP", TextTable::num(m.edp * 1e6, 4) + " uJ*s"});
+  table.add_row({"QoE", TextTable::num(m.qoe * 100, 2) + " %"});
+  table.add_row({"reconfigs/run",
+                 TextTable::num(static_cast<double>(m.reconfigurations) / runs, 1)});
+  table.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "generate") return cmd_generate(argc, argv);
+    if (cmd == "inspect") return cmd_inspect(argc, argv);
+    if (cmd == "serve") return cmd_serve(argc, argv);
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -1,0 +1,111 @@
+// Design-space explorer: the low-level AdaPEx APIs, one step at a time.
+//
+// Trains an early-exit CNV, prunes it at a requested rate under a FINN
+// folding config, and prints everything the design-time flow derives:
+// the per-layer prune report (with the dataflow constraints' adjustments),
+// the accelerator module inventory with cycle and resource estimates, the
+// analytical vs simulated throughput, and the accuracy/IPS/energy of a
+// confidence-threshold sweep.
+//
+//   ./build/examples/design_space_explorer [prune_rate_pct=50]
+
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/adapex.hpp"
+#include "finn/report.hpp"
+
+int main(int argc, char** argv) {
+  using namespace adapex;
+  const int rate_pct = argc > 1 ? std::atoi(argv[1]) : 50;
+  std::cout << "Exploring pruning rate " << rate_pct << "%\n\n";
+
+  // 1. Data + model + training.
+  auto scale = ExperimentScale::tiny();
+  SyntheticSpec dspec = cifar10_like_spec();
+  dspec.train_size = scale.train_size;
+  dspec.test_size = scale.test_size;
+  SyntheticDataset data = make_synthetic(dspec);
+
+  CnvConfig cfg = CnvConfig{}.scaled(scale.width_scale);
+  cfg.num_classes = dspec.num_classes;
+  Rng rng(7);
+  BranchyModel model = build_cnv_with_exits(cfg, paper_exits_config(false), rng);
+
+  TrainConfig tc;
+  tc.epochs = scale.initial_epochs;
+  tc.lr = scale.lr;
+  tc.batch_size = scale.batch_size;
+  std::cout << "Training early-exit CNV (" << tc.epochs << " epochs)...\n";
+  auto history = train_model(model, data.train, dspec.flip_symmetry, tc);
+  std::cout << "final joint loss " << history.back().joint_loss << "\n\n";
+
+  // 2. Folding + pruning.
+  auto sites = walk_compute_layers(model, cfg.in_channels, cfg.image_size);
+  FoldingConfig folding = styled_folding(sites);
+  std::cout << "FINN folding config (walk order):\n"
+            << folding.to_json(sites).dump(1) << "\n\n";
+
+  PruneOptions popts;
+  popts.rate = rate_pct / 100.0;
+  popts.folding = folding;
+  PruneReport report = prune_model(model, popts);
+  TextTable prune_table({"layer", "filters", "removed", "remaining",
+                         "constrained"});
+  for (const auto& l : report.layers) {
+    prune_table.add_row({l.name, std::to_string(l.original_filters),
+                         std::to_string(l.removed),
+                         std::to_string(l.remaining),
+                         l.constrained ? "yes" : ""});
+  }
+  prune_table.print(std::cout);
+  std::cout << "requested " << report.requested_rate * 100 << "%, achieved "
+            << report.achieved_rate * 100 << "% (dataflow constraints)\n\n";
+
+  // 3. Retrain briefly, then synthesize.
+  TrainConfig rt = tc;
+  rt.epochs = scale.retrain_epochs;
+  rt.lr = tc.lr * 0.5;
+  train_model(model, data.train, dspec.flip_symmetry, rt);
+
+  Accelerator acc = compile_accelerator(model, folding, AcceleratorConfig{});
+  std::cout << synthesis_report(acc).text;
+  std::cout << "exit overhead: " << acc.exit_overhead.bram << " BRAM, "
+            << acc.exit_overhead.lut << " LUT\n\n";
+
+  // 4. Analytical model vs the event-driven pipeline simulation.
+  PowerModel power;
+  ExitEvaluation eval = evaluate_exits(model, data.test);
+  TextTable sweep({"conf_threshold_pct", "accuracy", "exit0_frac", "ips",
+                   "sim_ips", "latency_ms", "mj_per_inf"});
+  for (int ct : {0, 25, 50, 75, 100}) {
+    auto stats = apply_threshold(eval, ct / 100.0);
+    auto perf = estimate_performance(acc, stats.exit_fraction, power);
+    // Cross-check with the simulator on a deterministic exit pattern.
+    std::vector<int> exits;
+    for (int i = 0; i < 300; ++i) {
+      double u = (i % 100) / 100.0;
+      int e = 0;
+      double acc_frac = 0.0;
+      for (std::size_t k = 0; k < stats.exit_fraction.size(); ++k) {
+        acc_frac += stats.exit_fraction[k];
+        if (u < acc_frac) {
+          e = static_cast<int>(k);
+          break;
+        }
+      }
+      exits.push_back(e);
+    }
+    auto sim = simulate_pipeline(acc, exits);
+    sweep.add_row({std::to_string(ct), TextTable::num(stats.accuracy, 3),
+                   TextTable::num(stats.exit_fraction.front(), 2),
+                   TextTable::num(perf.ips, 0),
+                   TextTable::num(acc.fclk_hz() / sim.steady_ii_cycles, 0),
+                   TextTable::num(perf.latency_ms, 4),
+                   TextTable::num(perf.energy_per_inf_j * 1e3, 4)});
+  }
+  sweep.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Error handling for the adapex library.
+//
+// All precondition/invariant violations throw adapex::Error (a
+// std::runtime_error) carrying a formatted message with the failing
+// expression and source location. Library code uses ADAPEX_CHECK for
+// conditions that depend on user input and ADAPEX_ASSERT for internal
+// invariants (compiled in all build types: this is an EDA-style tool where
+// silent corruption is worse than an abort).
+
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace adapex {
+
+/// Base exception for all adapex errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a user-supplied configuration is inconsistent
+/// (e.g. a folding config whose PE count does not divide the channel count).
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when tensor shapes are incompatible with an operation.
+class ShapeError : public Error {
+ public:
+  explicit ShapeError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when parsing serialized artifacts (JSON configs, libraries) fails.
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_check_failure(const char* kind, const char* expr,
+                                             const char* file, int line,
+                                             const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+}  // namespace adapex
+
+/// Checks a condition that may fail due to user input; throws adapex::Error.
+#define ADAPEX_CHECK(cond, msg)                                          \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::adapex::detail::throw_check_failure("check", #cond, __FILE__,    \
+                                            __LINE__, (msg));            \
+    }                                                                    \
+  } while (false)
+
+/// Checks an internal invariant; active in all build types.
+#define ADAPEX_ASSERT(cond)                                              \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::adapex::detail::throw_check_failure("assert", #cond, __FILE__,   \
+                                            __LINE__, std::string{});    \
+    }                                                                    \
+  } while (false)

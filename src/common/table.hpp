@@ -1,0 +1,38 @@
+// Tabular output helpers.
+//
+// Benches regenerate the paper's tables and figure series as plain-text
+// tables and CSV files; this keeps formatting in one place.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace adapex {
+
+/// A simple column-aligned text table with a header row.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Adds one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats a double with the given precision.
+  static std::string num(double v, int precision = 2);
+
+  /// Renders the table with aligned columns.
+  std::string str() const;
+
+  /// Renders as CSV (header + rows).
+  std::string csv() const;
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace adapex

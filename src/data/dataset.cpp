@@ -1,0 +1,218 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace adapex {
+
+void Dataset::add(Tensor image, int label, float difficulty) {
+  ADAPEX_CHECK(image.ndim() == 3 && image.dim(0) == channels_ &&
+                   image.dim(1) == height_ && image.dim(2) == width_,
+               "sample image shape mismatch");
+  ADAPEX_CHECK(label >= 0 && label < num_classes_, "label out of range");
+  images_.push_back(std::move(image));
+  labels_.push_back(label);
+  difficulty_.push_back(difficulty);
+}
+
+Tensor Dataset::batch_images(const std::vector<int>& indices) const {
+  ADAPEX_CHECK(!indices.empty(), "empty batch");
+  Tensor batch({static_cast<int>(indices.size()), channels_, height_, width_});
+  const std::size_t per_img =
+      static_cast<std::size_t>(channels_) * height_ * width_;
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const Tensor& img = images_.at(static_cast<std::size_t>(indices[i]));
+    std::memcpy(batch.data() + i * per_img, img.data(),
+                per_img * sizeof(float));
+  }
+  return batch;
+}
+
+std::vector<int> Dataset::batch_labels(const std::vector<int>& indices) const {
+  std::vector<int> out;
+  out.reserve(indices.size());
+  for (int idx : indices) out.push_back(labels_.at(static_cast<std::size_t>(idx)));
+  return out;
+}
+
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+/// Smooth class prototype: a few random low-frequency sinusoids per channel
+/// plus a class-keyed Gaussian blob, normalized to roughly [-1, 1].
+Tensor make_prototype(int channels, int height, int width, Rng& rng) {
+  Tensor proto({channels, height, width});
+  float* data = proto.data();
+  for (int c = 0; c < channels; ++c) {
+    // 3 sinusoidal components.
+    double fx[3], fy[3], ph[3], amp[3];
+    for (int j = 0; j < 3; ++j) {
+      fx[j] = rng.uniform(0.5, 3.0);
+      fy[j] = rng.uniform(0.5, 3.0);
+      ph[j] = rng.uniform(0.0, kTwoPi);
+      amp[j] = rng.uniform(0.3, 1.0);
+    }
+    // A localized blob distinguishing classes with similar spectra.
+    const double bx = rng.uniform(0.2, 0.8) * width;
+    const double by = rng.uniform(0.2, 0.8) * height;
+    const double bs = rng.uniform(3.0, 7.0);
+    const double ba = rng.uniform(0.8, 1.6) * (rng.bernoulli(0.5) ? 1 : -1);
+    for (int y = 0; y < height; ++y) {
+      for (int x = 0; x < width; ++x) {
+        double v = 0.0;
+        for (int j = 0; j < 3; ++j) {
+          v += amp[j] *
+               std::sin(kTwoPi * (fx[j] * x / width + fy[j] * y / height) +
+                        ph[j]);
+        }
+        const double d2 = (x - bx) * (x - bx) + (y - by) * (y - by);
+        v += ba * std::exp(-d2 / (2.0 * bs * bs));
+        data[(static_cast<std::size_t>(c) * height + y) * width + x] =
+            static_cast<float>(v);
+      }
+    }
+  }
+  // Normalize to unit max-abs so noise levels are comparable across classes.
+  float maxabs = 1e-6f;
+  for (std::size_t i = 0; i < proto.numel(); ++i) {
+    maxabs = std::max(maxabs, std::abs(proto[i]));
+  }
+  proto.scale_(1.0f / maxabs);
+  return proto;
+}
+
+Tensor render_sample(const Tensor& proto, double difficulty,
+                     const SyntheticSpec& spec, Rng& rng) {
+  const int c = spec.channels, h = spec.height, w = spec.width;
+  // Geometric distortion grows with difficulty.
+  const int max_shift =
+      static_cast<int>(std::lround(spec.max_shift * (0.4 + 0.6 * difficulty)));
+  const int dx = max_shift > 0
+                     ? static_cast<int>(rng.uniform_index(
+                           static_cast<std::uint64_t>(2 * max_shift + 1))) -
+                           max_shift
+                     : 0;
+  const int dy = max_shift > 0
+                     ? static_cast<int>(rng.uniform_index(
+                           static_cast<std::uint64_t>(2 * max_shift + 1))) -
+                           max_shift
+                     : 0;
+  const float contrast = static_cast<float>(rng.uniform(0.8, 1.2));
+  const float noise_std = static_cast<float>(
+      spec.noise_min + difficulty * (spec.noise_max - spec.noise_min));
+
+  Tensor img({c, h, w});
+  for (int ch = 0; ch < c; ++ch) {
+    for (int y = 0; y < h; ++y) {
+      for (int x = 0; x < w; ++x) {
+        const int sy = y + dy, sx = x + dx;
+        float v = 0.0f;
+        if (sy >= 0 && sy < h && sx >= 0 && sx < w) {
+          v = proto[(static_cast<std::size_t>(ch) * h + sy) * w + sx];
+        }
+        img[(static_cast<std::size_t>(ch) * h + y) * w + x] =
+            contrast * v + static_cast<float>(rng.normal(0.0, noise_std));
+      }
+    }
+  }
+  return img;
+}
+
+double sample_difficulty(const SyntheticSpec& spec, Rng& rng) {
+  if (rng.bernoulli(spec.easy_fraction)) return rng.uniform(0.0, 0.35);
+  return rng.uniform(0.35, 1.0);
+}
+
+void fill_split(Dataset& split, int size, const std::vector<Tensor>& protos,
+                const SyntheticSpec& spec, Rng& rng) {
+  for (int i = 0; i < size; ++i) {
+    const int label = static_cast<int>(
+        rng.uniform_index(static_cast<std::uint64_t>(spec.num_classes)));
+    const double difficulty = sample_difficulty(spec, rng);
+    split.add(render_sample(protos[static_cast<std::size_t>(label)], difficulty,
+                            spec, rng),
+              label, static_cast<float>(difficulty));
+  }
+}
+
+}  // namespace
+
+SyntheticDataset make_synthetic(const SyntheticSpec& spec) {
+  ADAPEX_CHECK(spec.num_classes >= 2, "need at least two classes");
+  ADAPEX_CHECK(spec.train_size > 0 && spec.test_size > 0,
+               "split sizes must be positive");
+  Rng rng(spec.seed);
+  std::vector<Tensor> protos;
+  protos.reserve(static_cast<std::size_t>(spec.num_classes));
+  for (int cls = 0; cls < spec.num_classes; ++cls) {
+    Rng proto_rng = rng.fork();
+    protos.push_back(
+        make_prototype(spec.channels, spec.height, spec.width, proto_rng));
+  }
+  SyntheticDataset out{
+      spec,
+      Dataset(spec.num_classes, spec.channels, spec.height, spec.width),
+      Dataset(spec.num_classes, spec.channels, spec.height, spec.width)};
+  Rng train_rng = rng.fork();
+  Rng test_rng = rng.fork();
+  fill_split(out.train, spec.train_size, protos, spec, train_rng);
+  fill_split(out.test, spec.test_size, protos, spec, test_rng);
+  return out;
+}
+
+SyntheticSpec cifar10_like_spec() {
+  SyntheticSpec spec;
+  spec.name = "cifar10-like";
+  spec.num_classes = 10;
+  spec.flip_symmetry = true;
+  // Difficulty calibrated so the reduced-scale CNV lands near the paper's
+  // CIFAR-10 TOP-1 band (~85-90%) with visible degradation under pruning.
+  spec.noise_min = 0.4;
+  spec.noise_max = 2.0;
+  spec.easy_fraction = 0.45;
+  spec.seed = 1234;
+  return spec;
+}
+
+SyntheticSpec gtsrb_like_spec() {
+  SyntheticSpec spec;
+  spec.name = "gtsrb-like";
+  spec.num_classes = 43;
+  spec.flip_symmetry = false;
+  // 43 mutually-similar classes are already harder than the 10-class set;
+  // milder noise keeps accuracy near the paper's GTSRB band (~70%).
+  spec.noise_min = 0.25;
+  spec.noise_max = 1.5;
+  spec.easy_fraction = 0.50;
+  spec.seed = 4321;
+  return spec;
+}
+
+Tensor augment_image(const Tensor& image, bool allow_flip, Rng& rng) {
+  const int c = image.dim(0), h = image.dim(1), w = image.dim(2);
+  const int dx = static_cast<int>(rng.uniform_index(5)) - 2;
+  const int dy = static_cast<int>(rng.uniform_index(5)) - 2;
+  const bool flip = allow_flip && rng.bernoulli(0.5);
+  Tensor out({c, h, w});
+  for (int ch = 0; ch < c; ++ch) {
+    for (int y = 0; y < h; ++y) {
+      for (int x = 0; x < w; ++x) {
+        const int sy = y + dy;
+        int sx = x + dx;
+        if (flip) sx = w - 1 - sx;
+        float v = 0.0f;
+        if (sy >= 0 && sy < h && sx >= 0 && sx < w) {
+          v = image[(static_cast<std::size_t>(ch) * h + sy) * w + sx];
+        }
+        out[(static_cast<std::size_t>(ch) * h + y) * w + x] = v;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace adapex

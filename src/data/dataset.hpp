@@ -1,0 +1,101 @@
+// Synthetic image classification datasets.
+//
+// Stand-ins for CIFAR-10 and GTSRB (see DESIGN.md substitution table): each
+// class has a smooth random prototype image; a sample is the prototype under
+// a random shift/contrast transform plus Gaussian noise whose magnitude is
+// the sample's *difficulty*. The difficulty mix (mostly easy, a tail of hard
+// samples) is what gives early exits their leverage — easy samples are
+// classified confidently by shallow heads, hard ones need the full backbone,
+// matching the "easy input" premise of early-exit CNNs.
+//
+// Dataset shapes follow the paper: 3x32x32 images, 10 classes for the
+// CIFAR-10-like set and 43 for the GTSRB-like set.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace adapex {
+
+/// An in-memory labelled image set.
+class Dataset {
+ public:
+  Dataset(int num_classes, int channels, int height, int width)
+      : num_classes_(num_classes),
+        channels_(channels),
+        height_(height),
+        width_(width) {}
+
+  int num_classes() const { return num_classes_; }
+  int channels() const { return channels_; }
+  int height() const { return height_; }
+  int width() const { return width_; }
+  int size() const { return static_cast<int>(labels_.size()); }
+
+  /// Appends one sample; `image` must be a [C,H,W] tensor.
+  void add(Tensor image, int label, float difficulty);
+
+  /// Builds a batch tensor [B,C,H,W] from the given sample indices.
+  Tensor batch_images(const std::vector<int>& indices) const;
+  std::vector<int> batch_labels(const std::vector<int>& indices) const;
+
+  const Tensor& image(int i) const { return images_.at(static_cast<std::size_t>(i)); }
+  int label(int i) const { return labels_.at(static_cast<std::size_t>(i)); }
+  float difficulty(int i) const { return difficulty_.at(static_cast<std::size_t>(i)); }
+
+ private:
+  int num_classes_;
+  int channels_;
+  int height_;
+  int width_;
+  std::vector<Tensor> images_;
+  std::vector<int> labels_;
+  std::vector<float> difficulty_;
+};
+
+/// Specification of a synthetic dataset.
+struct SyntheticSpec {
+  std::string name = "cifar10-like";
+  int num_classes = 10;
+  int train_size = 600;
+  int test_size = 300;
+  int channels = 3;
+  int height = 32;
+  int width = 32;
+  /// Noise std range mapped from difficulty 0..1.
+  double noise_min = 0.10;
+  double noise_max = 0.95;
+  /// Fraction of samples drawn from the easy difficulty band.
+  double easy_fraction = 0.6;
+  /// Max |shift| in pixels applied to the prototype.
+  int max_shift = 3;
+  /// Whether horizontal flip is a label-preserving symmetry (true for the
+  /// CIFAR-like set, false for traffic signs).
+  bool flip_symmetry = true;
+  std::uint64_t seed = 1234;
+};
+
+/// A train/test pair generated from one spec.
+struct SyntheticDataset {
+  SyntheticSpec spec;
+  Dataset train;
+  Dataset test;
+};
+
+/// Generates the dataset (deterministic in the spec's seed).
+SyntheticDataset make_synthetic(const SyntheticSpec& spec);
+
+/// Canonical specs used across the evaluation (paper section V).
+SyntheticSpec cifar10_like_spec();
+SyntheticSpec gtsrb_like_spec();
+
+/// Training-time augmentation: random shift (±2 px, zero fill) and, when
+/// `allow_flip`, horizontal flip. Operates on a [C,H,W] image.
+Tensor augment_image(const Tensor& image, bool allow_flip, Rng& rng);
+
+}  // namespace adapex

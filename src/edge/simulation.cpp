@@ -1,0 +1,186 @@
+#include "edge/simulation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "runtime/monitor.hpp"
+
+namespace adapex {
+
+namespace {
+
+/// Arrival stream from the scenario's workload pattern.
+std::vector<double> generate_arrivals(const EdgeScenario& sc) {
+  WorkloadSpec spec;
+  spec.pattern = sc.pattern;
+  spec.base_ips = sc.offered_ips();
+  spec.duration_s = sc.duration_s;
+  spec.period_s = sc.deviation_period_s;
+  spec.deviation = sc.deviation;
+  spec.spike_start_s = sc.spike_start_s;
+  spec.spike_duration_s = sc.spike_duration_s;
+  spec.spike_multiplier = sc.spike_multiplier;
+  WorkloadModel model(spec, sc.seed);
+  return model.generate_arrivals();
+}
+
+}  // namespace
+
+EdgeMetrics simulate_edge(const Library& library, const RuntimePolicy& policy,
+                          const EdgeScenario& scenario) {
+  ADAPEX_CHECK(scenario.duration_s > 0 && scenario.cameras > 0,
+               "degenerate scenario");
+  const std::vector<double> arrivals = generate_arrivals(scenario);
+
+  RuntimeManager manager(library, policy);
+  EdgeMetrics metrics;
+  metrics.offered = static_cast<long>(arrivals.size());
+
+  // Single-server FIFO with deterministic service at the active entry's
+  // rate. server_free is the time the backlog clears; wait = server_free-t.
+  double server_free = 0.0;
+  double next_sample = scenario.sample_period_s;
+  WorkloadMonitor monitor(
+      WorkloadMonitor::Options{1.0, scenario.reselect_threshold});
+  double latency_sum_ms = 0.0;
+  double accuracy_sum = 0.0;
+  double energy_j = 0.0;
+  // Power accounting: integrate dynamic power over busy time per entry.
+  double busy_until = 0.0;  // server_free caps busy time
+  double last_power_checkpoint = 0.0;
+  const double static_w = library.static_power_w;
+
+  auto account_energy = [&](double upto, const LibraryEntry& e) {
+    if (upto <= last_power_checkpoint) return;
+    const double interval = upto - last_power_checkpoint;
+    const double busy =
+        std::max(0.0, std::min(busy_until, upto) - last_power_checkpoint);
+    const double dyn_w = std::max(0.0, e.peak_power_w - static_w);
+    energy_j += static_w * interval + dyn_w * busy;
+    last_power_checkpoint = upto;
+  };
+
+  std::size_t ai = 0;
+  while (ai < arrivals.size() || next_sample < scenario.duration_s) {
+    const double next_arrival =
+        ai < arrivals.size() ? arrivals[ai] : scenario.duration_s + 1.0;
+    if (next_sample < next_arrival && next_sample < scenario.duration_s) {
+      // Sampling tick: measure and maybe adapt.
+      const LibraryEntry& before = manager.current();
+      account_energy(next_sample, before);
+      const WorkloadMonitor::Sample ws =
+          monitor.sample(scenario.sample_period_s);
+      // Re-search only when the monitor flags a workload change.
+      Decision d;
+      if (ws.flagged) d = manager.select(ws.rate_ips);
+      const LibraryEntry& entry = manager.current();
+      if (d.reconfigure) {
+        ++metrics.reconfigurations;
+        // The accelerator is dark during reconfiguration: backlog waits.
+        server_free = std::max(server_free, next_sample) +
+                      d.reconfig_ms / 1e3;
+      }
+      TracePoint tp;
+      tp.time_s = next_sample;
+      tp.measured_ips = ws.rate_ips;
+      tp.prune_rate_pct = entry.prune_rate_pct;
+      tp.conf_threshold_pct = entry.conf_threshold_pct;
+      tp.entry_accuracy = entry.accuracy;
+      tp.reconfigured = d.reconfigure;
+      metrics.trace.push_back(tp);
+      next_sample += scenario.sample_period_s;
+      continue;
+    }
+    if (ai >= arrivals.size()) break;
+
+    const double t = arrivals[ai++];
+    monitor.on_arrival();
+    const LibraryEntry& entry = manager.current();
+    const double service_s = 1.0 / std::max(entry.ips, 1e-9);
+    const double wait_s = std::max(0.0, server_free - t);
+    const double backlog = wait_s / service_s;
+    if (backlog > scenario.queue_capacity) {
+      ++metrics.dropped;
+      continue;
+    }
+    ++metrics.served;
+    accuracy_sum += entry.accuracy;
+    latency_sum_ms += wait_s * 1e3 + entry.latency_ms;
+    server_free = std::max(server_free, t) + service_s;
+    busy_until = server_free;
+  }
+  account_energy(scenario.duration_s, manager.current());
+
+  metrics.inference_loss_pct =
+      metrics.offered > 0
+          ? 100.0 * static_cast<double>(metrics.dropped) / metrics.offered
+          : 0.0;
+  metrics.accuracy =
+      metrics.served > 0 ? accuracy_sum / metrics.served : 0.0;
+  metrics.avg_latency_ms =
+      metrics.served > 0 ? latency_sum_ms / metrics.served : 0.0;
+  metrics.energy_j = energy_j;
+  metrics.avg_power_w = energy_j / scenario.duration_s;
+  metrics.energy_per_inf_j =
+      metrics.served > 0 ? energy_j / metrics.served : 0.0;
+  metrics.edp = metrics.energy_per_inf_j * (metrics.avg_latency_ms / 1e3);
+  const double served_fraction =
+      metrics.offered > 0
+          ? static_cast<double>(metrics.served) / metrics.offered
+          : 0.0;
+  metrics.qoe = metrics.accuracy * served_fraction;
+  return metrics;
+}
+
+EdgeMetrics simulate_edge_runs(const Library& library,
+                               const RuntimePolicy& policy,
+                               const EdgeScenario& scenario, int runs) {
+  ADAPEX_CHECK(runs > 0, "need at least one run");
+  EdgeMetrics total;
+  for (int r = 0; r < runs; ++r) {
+    EdgeScenario sc = scenario;
+    sc.seed = scenario.seed + static_cast<std::uint64_t>(r);
+    EdgeMetrics m = simulate_edge(library, policy, sc);
+    if (r == 0) total.trace = m.trace;
+    total.offered += m.offered;
+    total.served += m.served;
+    total.dropped += m.dropped;
+    total.inference_loss_pct += m.inference_loss_pct;
+    total.accuracy += m.accuracy;
+    total.avg_latency_ms += m.avg_latency_ms;
+    total.avg_power_w += m.avg_power_w;
+    total.energy_j += m.energy_j;
+    total.energy_per_inf_j += m.energy_per_inf_j;
+    total.edp += m.edp;
+    total.qoe += m.qoe;
+    total.reconfigurations += m.reconfigurations;
+  }
+  const double inv = 1.0 / runs;
+  total.inference_loss_pct *= inv;
+  total.accuracy *= inv;
+  total.avg_latency_ms *= inv;
+  total.avg_power_w *= inv;
+  total.energy_j *= inv;
+  total.energy_per_inf_j *= inv;
+  total.edp *= inv;
+  total.qoe *= inv;
+  return total;
+}
+
+EdgeScenario scale_to_library(EdgeScenario scenario, const Library& library,
+                              double ratio) {
+  // Throughput of the static FINN point (no-exit, unpruned).
+  double finn_ips = -1.0;
+  for (const auto& e : library.entries) {
+    if (e.variant == ModelVariant::kNoExit && e.prune_rate_pct == 0) {
+      finn_ips = e.ips;
+      break;
+    }
+  }
+  ADAPEX_CHECK(finn_ips > 0, "library lacks the unpruned no-exit entry");
+  scenario.ips_per_camera = finn_ips * ratio / scenario.cameras;
+  return scenario;
+}
+
+}  // namespace adapex

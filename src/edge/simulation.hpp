@@ -1,0 +1,100 @@
+// Edge inference-serving simulation (paper section V).
+//
+// Models the smart-video-surveillance scenario: N cameras offload frames to
+// a local edge server with one FINN-style FPGA accelerator. Requests arrive
+// as a Poisson process whose rate deviates randomly every few seconds; the
+// server queues requests (finite buffer — overflow is the paper's
+// "inference loss"), serves them at the active operating point's
+// throughput, and pays a dead interval on every FPGA reconfiguration.
+// The Runtime Manager samples the measured arrival rate periodically and
+// may switch the operating point.
+//
+// Metrics mirror Table I and Figure 6: inference loss %, delivered
+// accuracy, average latency, average power, energy, EDP, and QoE
+// (accuracy x fraction of processed frames).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "edge/workload.hpp"
+#include "runtime/manager.hpp"
+
+namespace adapex {
+
+/// Scenario parameters (defaults follow the paper's methodology).
+struct EdgeScenario {
+  int cameras = 20;
+  double ips_per_camera = 30.0;
+  double duration_s = 25.0;
+  /// Workload deviates by +-`deviation` at every `deviation_period_s`.
+  double deviation = 0.30;
+  double deviation_period_s = 5.0;
+  /// Runtime manager sampling cadence.
+  double sample_period_s = 0.5;
+  /// The manager re-searches the library only when the measured workload
+  /// moved by more than this fraction since the last decision ("whenever a
+  /// change in the workload is flagged", paper section IV-B). Prevents
+  /// reconfiguration thrash on sampling noise.
+  double reselect_threshold = 0.15;
+  /// Request buffer capacity (requests waiting; overflow is dropped).
+  int queue_capacity = 60;
+  /// Arrival-rate pattern (paper default: random deviation). Flash-crowd
+  /// and diurnal patterns are used by examples and robustness ablations.
+  WorkloadPattern pattern = WorkloadPattern::kRandomDeviation;
+  double spike_start_s = 10.0;
+  double spike_duration_s = 5.0;
+  double spike_multiplier = 2.0;
+  std::uint64_t seed = 1;
+
+  double offered_ips() const { return cameras * ips_per_camera; }
+};
+
+/// One sampling-tick snapshot (drives the Figure 3 runtime trace).
+struct TracePoint {
+  double time_s = 0.0;
+  double measured_ips = 0.0;
+  int prune_rate_pct = 0;
+  int conf_threshold_pct = 0;
+  double entry_accuracy = 0.0;
+  bool reconfigured = false;
+};
+
+/// Aggregated episode results.
+struct EdgeMetrics {
+  long offered = 0;
+  long served = 0;
+  long dropped = 0;
+
+  double inference_loss_pct = 0.0;
+  double accuracy = 0.0;       ///< Mean accuracy of served requests.
+  double avg_latency_ms = 0.0; ///< Queue wait + pipeline latency.
+  double avg_power_w = 0.0;
+  double energy_j = 0.0;
+  double energy_per_inf_j = 0.0;
+  double edp = 0.0;            ///< energy_per_inf * avg_latency (J*s).
+  double qoe = 0.0;            ///< accuracy * fraction served.
+  int reconfigurations = 0;
+
+  std::vector<TracePoint> trace;
+};
+
+/// Runs one episode with the given policy over the library.
+EdgeMetrics simulate_edge(const Library& library, const RuntimePolicy& policy,
+                          const EdgeScenario& scenario);
+
+/// Averages `runs` episodes (seeds seed, seed+1, ...). Traces are kept only
+/// for the first episode.
+EdgeMetrics simulate_edge_runs(const Library& library,
+                               const RuntimePolicy& policy,
+                               const EdgeScenario& scenario, int runs);
+
+/// Scales the scenario's per-camera rate so the total offered load is
+/// `ratio` times the throughput of the static FINN operating point in the
+/// library — the paper's regime, where the unpruned accelerator loses ~23%
+/// of requests while AdaPEx can keep up. Keeps the camera count.
+EdgeScenario scale_to_library(EdgeScenario scenario, const Library& library,
+                              double ratio = 1.30);
+
+}  // namespace adapex

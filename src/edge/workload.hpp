@@ -1,0 +1,62 @@
+// Workload models for the edge simulation.
+//
+// The paper's methodology uses a fixed camera fleet with 30% random
+// deviation every 5 seconds (citing MLPerf Inference [17] for workload
+// variability). Real deployments also see slower diurnal swings and flash
+// crowds; those patterns are provided for the examples and the robustness
+// ablations. All models emit a Poisson arrival stream whose rate is a
+// piecewise-constant function of time.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace adapex {
+
+/// Rate pattern kinds.
+enum class WorkloadPattern {
+  kRandomDeviation,  ///< Paper: base * (1 +- U(deviation)) per period.
+  kDiurnal,          ///< Sinusoidal swing between (1-deviation) and (1+deviation).
+  kFlashCrowd,       ///< Base rate with a spike window at a multiplier.
+  kTrace,            ///< Explicit per-period rate multipliers.
+};
+
+const char* to_string(WorkloadPattern p);
+
+/// Workload description (rate in requests/second).
+struct WorkloadSpec {
+  WorkloadPattern pattern = WorkloadPattern::kRandomDeviation;
+  double base_ips = 600.0;
+  double duration_s = 25.0;
+  double period_s = 5.0;     ///< Rate re-evaluation period.
+  double deviation = 0.30;   ///< Random/diurnal amplitude.
+  // Flash crowd parameters.
+  double spike_start_s = 10.0;
+  double spike_duration_s = 5.0;
+  double spike_multiplier = 2.0;
+  /// kTrace: multiplier per period (wraps around if shorter than needed).
+  std::vector<double> trace;
+};
+
+/// Piecewise-constant rate at time t (uses `rng` for the random pattern;
+/// call sequentially per period to stay deterministic).
+class WorkloadModel {
+ public:
+  WorkloadModel(const WorkloadSpec& spec, std::uint64_t seed);
+
+  /// Rate of period `index` (periods are [i*period_s, (i+1)*period_s)).
+  double period_rate(int index);
+
+  /// Generates the full Poisson arrival time list over [0, duration).
+  std::vector<double> generate_arrivals();
+
+ private:
+  WorkloadSpec spec_;
+  Rng rng_;
+  std::vector<double> cached_rates_;
+};
+
+}  // namespace adapex

@@ -1,0 +1,285 @@
+#include "finn/accelerator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/ops.hpp"
+
+namespace adapex {
+
+namespace {
+
+/// Geometry tracked while emitting modules for one Sequential.
+struct EmitState {
+  int channels = 0;
+  int dim = 0;
+  int features = 0;
+  bool flattened = false;
+  /// Parallelism (channels per cycle) of the producing stream, used to cost
+  /// pool/branch units that run at line rate.
+  int stream_pe = 1;
+};
+
+struct Emitter {
+  const FoldingConfig& folding;
+  const AcceleratorConfig& config;
+  std::vector<HlsModule> modules;
+  std::size_t fold_index = 0;  // walk-order cursor
+
+  /// Emits all modules of one Sequential; appends the emitted module
+  /// indices to `path`. `exit_level` is the number of upstream branch
+  /// points; `exit_head` tags exit-head modules.
+  void emit_sequential(Sequential& seq, const std::string& prefix,
+                       EmitState& state, int exit_level, int exit_head,
+                       std::vector<int>& path) {
+    int act_bits_default = 2;
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+      Layer& layer = seq.layer(i);
+      switch (layer.kind()) {
+        case LayerKind::kConv: {
+          auto& conv = static_cast<QuantConv2d&>(layer);
+          const LayerFold fold = next_fold();
+          MvtuGeometry g;
+          g.is_conv = true;
+          g.in_channels = conv.in_channels();
+          g.out_channels = conv.out_channels();
+          g.kernel = conv.kernel();
+          g.in_dim = state.dim;
+          g.out_dim = ops::out_dim(state.dim, conv.kernel(), 1);
+          g.weight_bits = conv.weight_bits() > 0 ? conv.weight_bits() : 32;
+          g.act_bits = act_bits_default;
+
+          HlsModule swu;
+          swu.kind = HlsModuleKind::kSwu;
+          swu.name = prefix + "." + std::to_string(i) + ".swu";
+          swu.cycles = swu_cycles(g, fold.simd);
+          swu.resources = swu_resources(g, fold.simd, config.cost);
+          swu.exit_level = exit_level;
+          swu.exit_head = exit_head;
+          path.push_back(static_cast<int>(modules.size()));
+          modules.push_back(swu);
+
+          HlsModule mvtu;
+          mvtu.kind = HlsModuleKind::kMvtu;
+          mvtu.name = prefix + "." + std::to_string(i) + ".mvtu";
+          mvtu.cycles = mvtu_cycles(g, fold.pe, fold.simd);
+          mvtu.resources = mvtu_resources(g, fold.pe, fold.simd, config.cost);
+          mvtu.exit_level = exit_level;
+          mvtu.exit_head = exit_head;
+          path.push_back(static_cast<int>(modules.size()));
+          modules.push_back(mvtu);
+
+          state.channels = conv.out_channels();
+          state.dim = g.out_dim;
+          state.stream_pe = fold.pe;
+          break;
+        }
+        case LayerKind::kLinear: {
+          auto& fc = static_cast<QuantLinear&>(layer);
+          const LayerFold fold = next_fold();
+          MvtuGeometry g;
+          g.is_conv = false;
+          g.in_channels = fc.in_features();
+          g.out_channels = fc.out_features();
+          g.kernel = 1;
+          g.in_dim = 1;
+          g.out_dim = 1;
+          g.weight_bits = fc.weight_bits() > 0 ? fc.weight_bits() : 32;
+          g.act_bits = act_bits_default;
+
+          HlsModule mvtu;
+          mvtu.kind = HlsModuleKind::kMvtu;
+          mvtu.name = prefix + "." + std::to_string(i) + ".mvtu";
+          mvtu.cycles = mvtu_cycles(g, fold.pe, fold.simd);
+          mvtu.resources = mvtu_resources(g, fold.pe, fold.simd, config.cost);
+          mvtu.exit_level = exit_level;
+          mvtu.exit_head = exit_head;
+          path.push_back(static_cast<int>(modules.size()));
+          modules.push_back(mvtu);
+
+          state.features = fc.out_features();
+          state.stream_pe = fold.pe;
+          break;
+        }
+        case LayerKind::kMaxPool: {
+          auto& pool = static_cast<MaxPool2d&>(layer);
+          HlsModule m;
+          m.kind = HlsModuleKind::kPool;
+          m.name = prefix + "." + std::to_string(i) + ".pool";
+          m.cycles = pool_cycles(state.channels, state.dim, state.stream_pe);
+          m.resources = pool_resources(state.channels, state.stream_pe,
+                                       act_bits_default, config.cost);
+          m.exit_level = exit_level;
+          m.exit_head = exit_head;
+          path.push_back(static_cast<int>(modules.size()));
+          modules.push_back(m);
+          state.dim = ops::out_dim(state.dim, pool.kernel(), pool.stride());
+          break;
+        }
+        case LayerKind::kFlatten:
+          state.features = state.channels * state.dim * state.dim;
+          state.flattened = true;
+          break;
+        case LayerKind::kActQuant: {
+          auto& act = static_cast<ActQuant&>(layer);
+          if (act.bits() > 0) act_bits_default = act.bits();
+          break;  // absorbed into MVTU thresholds
+        }
+        case LayerKind::kBatchNorm:
+          break;  // absorbed into MVTU thresholds
+      }
+    }
+  }
+
+  LayerFold next_fold() {
+    ADAPEX_CHECK(fold_index < folding.folds.size(),
+                 "folding config shorter than model layer list");
+    return folding.folds[fold_index++];
+  }
+};
+
+}  // namespace
+
+Accelerator compile_accelerator(BranchyModel& model,
+                                const FoldingConfig& folding,
+                                const AcceleratorConfig& config) {
+  // The folding config is indexed in walk order; validate against it first.
+  auto sites =
+      walk_compute_layers(model, config.in_channels, config.image_size);
+  validate_folding(sites, folding);
+
+  Emitter emitter{folding, config, {}, 0};
+  Accelerator acc;
+  acc.fclk_mhz = config.fclk_mhz;
+  acc.num_exits = static_cast<int>(model.num_exits());
+
+  // Backbone blocks; record per-block state and the module path prefix.
+  EmitState state;
+  state.channels = config.in_channels;
+  state.dim = config.image_size;
+  std::vector<int> backbone_path;
+  std::vector<EmitState> block_state(model.num_blocks());
+  // Exit attachment bookkeeping: exits are sorted by block; count upstream
+  // branch points to set exit levels.
+  std::vector<std::vector<int>> path_prefix_at_exit(model.num_exits());
+
+  int exits_seen = 0;
+  for (std::size_t b = 0; b < model.num_blocks(); ++b) {
+    emitter.emit_sequential(model.block(b), "backbone.b" + std::to_string(b),
+                            state, exits_seen, -1, backbone_path);
+    block_state[b] = state;
+    // Insert a branch module per exit attached at this block's output.
+    for (std::size_t e = 0; e < model.num_exits(); ++e) {
+      if (model.exit(e).after_block != static_cast<int>(b)) continue;
+      HlsModule branch;
+      branch.kind = HlsModuleKind::kBranch;
+      branch.name = "branch.exit" + std::to_string(e);
+      branch.cycles = branch_cycles(state.channels, state.dim, state.stream_pe);
+      branch.resources = branch_resources(state.channels, state.dim,
+                                          state.stream_pe, 2, config.cost);
+      branch.exit_level = exits_seen;
+      branch.exit_head = -1;
+      backbone_path.push_back(static_cast<int>(emitter.modules.size()));
+      emitter.modules.push_back(branch);
+      path_prefix_at_exit[e] = backbone_path;  // snapshot incl. the branch
+      ++exits_seen;
+    }
+  }
+
+  // Exit heads. The emitter's fold cursor continues in walk order (backbone
+  // layers first, then exit layers), matching walk_compute_layers.
+  std::vector<std::vector<int>> exit_paths(model.num_exits());
+  for (std::size_t e = 0; e < model.num_exits(); ++e) {
+    EmitState exit_state =
+        block_state[static_cast<std::size_t>(model.exit(e).after_block)];
+    std::vector<int> head_path = path_prefix_at_exit[e];
+    emitter.emit_sequential(*model.exit(e).head, "exit" + std::to_string(e),
+                            exit_state, static_cast<int>(e),
+                            static_cast<int>(e), head_path);
+    exit_paths[e] = std::move(head_path);
+  }
+
+  acc.modules = std::move(emitter.modules);
+  for (auto& p : exit_paths) acc.paths.push_back(std::move(p));
+  acc.paths.push_back(std::move(backbone_path));
+
+  for (const auto& m : acc.modules) {
+    acc.total += m.resources;
+    if (m.exit_head >= 0 || m.kind == HlsModuleKind::kBranch) {
+      acc.exit_overhead += m.resources;
+    }
+  }
+  return acc;
+}
+
+std::vector<double> reach_from_fractions(
+    const std::vector<double>& fractions) {
+  std::vector<double> reach(fractions.size(), 1.0);
+  double survived = 1.0;
+  for (std::size_t e = 0; e < fractions.size(); ++e) {
+    reach[e] = survived;
+    survived -= fractions[e];
+  }
+  return reach;
+}
+
+AcceleratorPerf estimate_performance(const Accelerator& acc,
+                                     const std::vector<double>& exit_fractions,
+                                     const PowerModel& power) {
+  ADAPEX_CHECK(static_cast<int>(exit_fractions.size()) == acc.num_exits + 1,
+               "exit fraction arity must equal outputs");
+  double sum = 0.0;
+  for (double f : exit_fractions) {
+    ADAPEX_CHECK(f >= -1e-9, "negative exit fraction");
+    sum += f;
+  }
+  ADAPEX_CHECK(std::abs(sum - 1.0) < 1e-6, "exit fractions must sum to 1");
+
+  const auto reach = reach_from_fractions(exit_fractions);
+  auto module_reach = [&](const HlsModule& m) {
+    const int level = m.exit_level;
+    ADAPEX_ASSERT(level >= 0 &&
+                  level < static_cast<int>(reach.size()) + 1);
+    return level < static_cast<int>(reach.size()) ? reach[static_cast<std::size_t>(level)]
+                                                  : 0.0;
+  };
+
+  AcceleratorPerf perf;
+  // Effective initiation interval: the bottleneck module's expected
+  // occupancy per offered input.
+  double ii_cycles = 0.0;
+  for (const auto& m : acc.modules) {
+    ii_cycles = std::max(ii_cycles, m.cycles * module_reach(m));
+  }
+  ADAPEX_CHECK(ii_cycles > 0.0, "degenerate accelerator (no work)");
+  perf.ips = acc.fclk_hz() / ii_cycles;
+
+  // Per-exit latency: sum of module cycles along the exit's path (FINN's
+  // analytical latency convention).
+  perf.latency_ms_per_exit.resize(acc.paths.size());
+  perf.latency_ms = 0.0;
+  for (std::size_t e = 0; e < acc.paths.size(); ++e) {
+    double cycles = 0.0;
+    for (int mi : acc.paths[e]) {
+      cycles += static_cast<double>(acc.modules[static_cast<std::size_t>(mi)].cycles);
+    }
+    perf.latency_ms_per_exit[e] = cycles / acc.fclk_hz() * 1e3;
+    perf.latency_ms += exit_fractions[e] * perf.latency_ms_per_exit[e];
+  }
+
+  // Energy: work actually performed per inference (gated tail), plus the
+  // static share at the achieved rate; peak power at full utilization.
+  double dyn_energy = 0.0;
+  double dyn_power = 0.0;
+  for (const auto& m : acc.modules) {
+    const double peak_w = power.module_peak_w(m.resources);
+    const double busy_cycles = m.cycles * module_reach(m);
+    dyn_energy += peak_w * busy_cycles / acc.fclk_hz();
+    dyn_power += peak_w * busy_cycles / ii_cycles;
+  }
+  perf.peak_power_w = power.static_w + dyn_power;
+  perf.energy_per_inf_j = dyn_energy + power.static_w / perf.ips;
+  return perf;
+}
+
+}  // namespace adapex

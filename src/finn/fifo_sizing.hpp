@@ -1,0 +1,48 @@
+// Simulation-driven FIFO sizing.
+//
+// FINN sizes the FIFOs between streaming modules by RTL simulation: run a
+// stimulus, record each FIFO's high-water mark, and provision that depth
+// (plus margin) so the pipeline never deadlocks or stalls. This module
+// reproduces that step at the transaction level: it replays an image
+// stream through the accelerator graph with unbounded buffers, measures the
+// maximum in-flight occupancy of every producer->consumer link, and reports
+// the required depth together with its BRAM cost at the link's stream
+// width.
+//
+// The branch links (backbone -> exit head) are the interesting ones: the
+// paper notes the early-exit overhead lands mainly in BRAM because the
+// duplicated feature-map stream must be buffered while the slower consumer
+// drains it.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "finn/accelerator.hpp"
+
+namespace adapex {
+
+/// Sizing result for one inter-module link.
+struct FifoRequirement {
+  int producer = -1;  ///< Module index.
+  int consumer = -1;
+  /// Maximum images simultaneously in flight on the link.
+  int depth_images = 0;
+  /// Element depth: images * elements per image at the link.
+  long depth_elements = 0;
+  /// BRAM18 blocks to hold depth_elements at the stream's bit width.
+  long bram = 0;
+  std::string describe(const Accelerator& acc) const;
+};
+
+/// Sizes every link by simulating `exit_of_image` through the pipeline.
+/// `safety_margin` multiplies the measured depth (FINN uses headroom too).
+std::vector<FifoRequirement> size_fifos(const Accelerator& acc,
+                                        const std::vector<int>& exit_of_image,
+                                        double safety_margin = 1.25);
+
+/// Total BRAM across all links (the figure a designer budgets).
+long total_fifo_bram(const std::vector<FifoRequirement>& reqs);
+
+}  // namespace adapex

@@ -1,0 +1,41 @@
+// Event-driven simulation of the dataflow pipeline.
+//
+// Substitute for the paper's Verilator RTL simulations (see DESIGN.md): a
+// transaction-level model where each streaming module serially processes one
+// image in its `cycles` budget, overlapping across modules exactly like the
+// synthesized pipeline. Images carry their taken exit, so the simulator
+// reproduces the stream-gating service model (backbone tail skipped after a
+// taken exit, exit heads fed up to their branch point). FIFOs are assumed
+// deep enough to avoid backpressure stalls, which is FINN's own FIFO-sizing
+// goal.
+//
+// Used in tests to validate the analytical initiation-interval and latency
+// estimates, and available to users who want trace-level behaviour.
+
+#pragma once
+
+#include <vector>
+
+#include "finn/accelerator.hpp"
+
+namespace adapex {
+
+/// Result of simulating a stream of images through the pipeline.
+struct PipelineSimResult {
+  /// Average cycles between successive completions in steady state
+  /// (measured over the second half of the run).
+  double steady_ii_cycles = 0.0;
+  /// Completion time of the first image (pipeline fill + drain), cycles.
+  double first_latency_cycles = 0.0;
+  /// Average per-image latency (injection to completion), cycles.
+  double avg_latency_cycles = 0.0;
+  /// Completion timestamp per image, cycles.
+  std::vector<double> completion_cycles;
+};
+
+/// Simulates `exit_of_image.size()` back-to-back images; exit_of_image[i]
+/// gives the output index (0..num_exits) image i is accepted at.
+PipelineSimResult simulate_pipeline(const Accelerator& acc,
+                                    const std::vector<int>& exit_of_image);
+
+}  // namespace adapex

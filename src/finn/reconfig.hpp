@@ -1,0 +1,28 @@
+// FPGA reconfiguration cost model.
+//
+// Switching the pruning rate means loading a different accelerator
+// bitstream. The paper reports four reconfigurations taking 580 ms total on
+// the ZCU104, i.e. ~145 ms each; we model a fixed base cost plus a small
+// resource-proportional term (bitstream size scales with configured area).
+// During a reconfiguration the accelerator serves nothing — the edge
+// simulation accounts the dead time against the request queue.
+
+#pragma once
+
+#include "finn/accelerator.hpp"
+
+namespace adapex {
+
+/// Reconfiguration time model.
+struct ReconfigModel {
+  /// Fixed bitstream load cost (paper: 580 ms / 4 reconfigurations).
+  double base_ms = 145.0;
+  /// Additional ms per 100k LUTs of configured design (second-order).
+  double ms_per_100klut = 5.0;
+
+  double time_ms(const Accelerator& acc) const {
+    return base_ms + ms_per_100klut * static_cast<double>(acc.total.lut) / 1e5;
+  }
+};
+
+}  // namespace adapex

@@ -1,0 +1,89 @@
+#include "finn/report.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/table.hpp"
+
+namespace adapex {
+
+Json SynthesisReport::to_json() const {
+  Json j = Json::object();
+  j["part"] = part;
+  Json res = Json::object();
+  res["lut"] = static_cast<double>(used.lut);
+  res["ff"] = static_cast<double>(used.ff);
+  res["bram"] = static_cast<double>(used.bram);
+  res["dsp"] = static_cast<double>(used.dsp);
+  j["used"] = std::move(res);
+  j["lut_pct"] = lut_pct;
+  j["ff_pct"] = ff_pct;
+  j["bram_pct"] = bram_pct;
+  j["dsp_pct"] = dsp_pct;
+  j["fits"] = fits;
+  j["critical_module"] = critical_module;
+  j["critical_cycles"] = static_cast<double>(critical_cycles);
+  j["peak_ips"] = peak_ips;
+  j["latency_ms"] = latency_ms;
+  return j;
+}
+
+SynthesisReport synthesis_report(const Accelerator& acc,
+                                 const DeviceBudget& budget) {
+  ADAPEX_CHECK(!acc.modules.empty(), "empty accelerator");
+  SynthesisReport report;
+  report.part = budget.part;
+  report.used = acc.total;
+  auto pct = [](long used, long avail) {
+    return avail > 0 ? 100.0 * static_cast<double>(used) / avail : 0.0;
+  };
+  report.lut_pct = pct(acc.total.lut, budget.lut);
+  report.ff_pct = pct(acc.total.ff, budget.ff);
+  report.bram_pct = pct(acc.total.bram, budget.bram);
+  report.dsp_pct = pct(acc.total.dsp, budget.dsp);
+  report.fits = acc.total.lut <= budget.lut && acc.total.ff <= budget.ff &&
+                acc.total.bram <= budget.bram && acc.total.dsp <= budget.dsp;
+
+  long max_cycles = 0;
+  for (const auto& m : acc.modules) {
+    if (m.cycles > max_cycles) {
+      max_cycles = m.cycles;
+      report.critical_module = m.name;
+    }
+  }
+  report.critical_cycles = max_cycles;
+  report.peak_ips = acc.fclk_hz() / static_cast<double>(max_cycles);
+  double path_cycles = 0.0;
+  for (int mi : acc.paths.back()) {
+    path_cycles += static_cast<double>(
+        acc.modules[static_cast<std::size_t>(mi)].cycles);
+  }
+  report.latency_ms = path_cycles / acc.fclk_hz() * 1e3;
+
+  TextTable table({"module", "kind", "cycles", "lut", "ff", "bram", "dsp"});
+  for (const auto& m : acc.modules) {
+    table.add_row({m.name, to_string(m.kind), std::to_string(m.cycles),
+                   std::to_string(m.resources.lut),
+                   std::to_string(m.resources.ff),
+                   std::to_string(m.resources.bram),
+                   std::to_string(m.resources.dsp)});
+  }
+  std::ostringstream os;
+  os << "Synthesis report — part " << budget.part << " @ " << acc.fclk_mhz
+     << " MHz\n\n";
+  table.print(os);
+  os << "\nTotals: " << acc.total.lut << " LUT (" << TextTable::num(report.lut_pct, 1)
+     << "%), " << acc.total.ff << " FF (" << TextTable::num(report.ff_pct, 1)
+     << "%), " << acc.total.bram << " BRAM18 ("
+     << TextTable::num(report.bram_pct, 1) << "%), " << acc.total.dsp
+     << " DSP (" << TextTable::num(report.dsp_pct, 1) << "%)"
+     << (report.fits ? "" : "  ** DOES NOT FIT **") << "\n";
+  os << "Critical module: " << report.critical_module << " ("
+     << report.critical_cycles << " cycles) -> peak "
+     << TextTable::num(report.peak_ips, 0) << " IPS, full-path latency "
+     << TextTable::num(report.latency_ms, 4) << " ms\n";
+  report.text = os.str();
+  return report;
+}
+
+}  // namespace adapex

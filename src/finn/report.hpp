@@ -1,0 +1,55 @@
+// Synthesis reports — the Vivado-style artifact of the "HLS synthesis"
+// stage.
+//
+// After compiling a model to a dataflow accelerator, the design-time flow
+// can emit a utilization/timing report: per-module cycles and resources,
+// per-resource totals against a device budget, the critical (bottleneck)
+// module, and the projected performance envelope. Reports render as an
+// aligned text table (for humans) and as JSON (for tooling), mirroring the
+// role of Vivado's utilization and timing reports in the paper's flow.
+
+#pragma once
+
+#include <string>
+
+#include "common/json.hpp"
+#include "finn/accelerator.hpp"
+
+namespace adapex {
+
+/// FPGA device resource budget. Defaults: Zynq UltraScale+ XCZU7EV, the
+/// ZCU104 part the paper targets.
+struct DeviceBudget {
+  std::string part = "xczu7ev";
+  long lut = 230400;
+  long ff = 460800;
+  long bram = 624;  ///< BRAM18 units (312 BRAM36).
+  long dsp = 1728;
+};
+
+/// Utilization/timing summary of one accelerator.
+struct SynthesisReport {
+  std::string part;
+  Resources used;
+  double lut_pct = 0.0;
+  double ff_pct = 0.0;
+  double bram_pct = 0.0;
+  double dsp_pct = 0.0;
+  bool fits = true;
+  /// Bottleneck module (max cycles) and the fclk-limited peak throughput.
+  std::string critical_module;
+  long critical_cycles = 0;
+  double peak_ips = 0.0;
+  double latency_ms = 0.0;  ///< Full-path (final exit) latency.
+
+  /// Aligned text rendering (module table + summary).
+  std::string text;
+
+  Json to_json() const;
+};
+
+/// Builds the report for an accelerator against a device budget.
+SynthesisReport synthesis_report(const Accelerator& acc,
+                                 const DeviceBudget& budget = DeviceBudget{});
+
+}  // namespace adapex

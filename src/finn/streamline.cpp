@@ -1,0 +1,346 @@
+#include "finn/streamline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "tensor/ops.hpp"
+
+namespace adapex {
+
+namespace {
+
+constexpr float kBnEps = 1e-5f;  // must match BatchNorm::forward
+
+/// Extracts per-channel ternary codes and scales from a quantized weight
+/// tensor (rows = output channels). Throws if the layer is not 2-bit.
+void ternarize(const Tensor& weight, int weight_bits,
+               std::vector<std::int8_t>& codes, std::vector<double>& alpha) {
+  if (weight_bits != 2) {
+    throw ConfigError(
+        "streamlining requires 2-bit (ternary) weights, got " +
+        std::to_string(weight_bits) + " bits");
+  }
+  Tensor q;
+  quantize_weight_per_channel(weight, weight_bits, q);
+  const int rows = weight.dim(0);
+  const std::size_t per_row = weight.numel() / static_cast<std::size_t>(rows);
+  codes.assign(weight.numel(), 0);
+  alpha.assign(static_cast<std::size_t>(rows), 0.0);
+  for (int r = 0; r < rows; ++r) {
+    double a = 0.0;
+    for (std::size_t i = 0; i < per_row; ++i) {
+      const float v = q[static_cast<std::size_t>(r) * per_row + i];
+      if (std::abs(v) > 1e-12f) {
+        a = std::abs(v);
+        break;
+      }
+    }
+    alpha[static_cast<std::size_t>(r)] = a;
+    for (std::size_t i = 0; i < per_row; ++i) {
+      const float v = q[static_cast<std::size_t>(r) * per_row + i];
+      std::int8_t code = 0;
+      if (v > 1e-12f) code = 1;
+      else if (v < -1e-12f) code = -1;
+      codes[static_cast<std::size_t>(r) * per_row + i] = code;
+    }
+  }
+}
+
+/// Streamlines one Sequential into ops, updating the stored-value scale
+/// factor `f` (activation value = f * stored integer level; f = 1 for the
+/// raw input image).
+void streamline_sequential(const Sequential& seq, double& f,
+                           std::vector<StreamlinedOp>& ops) {
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    const Layer& layer = seq.layer(i);
+    switch (layer.kind()) {
+      case LayerKind::kConv:
+      case LayerKind::kLinear: {
+        StreamlinedOp op;
+        op.kind = StreamlinedOp::Kind::kMvtu;
+        std::vector<double> alpha;
+        if (layer.kind() == LayerKind::kConv) {
+          const auto& conv = static_cast<const QuantConv2d&>(layer);
+          op.is_conv = true;
+          op.in_channels = conv.in_channels();
+          op.out_channels = conv.out_channels();
+          op.kernel = conv.kernel();
+          ternarize(conv.weight().value, conv.weight_bits(), op.weights,
+                    alpha);
+        } else {
+          const auto& fc = static_cast<const QuantLinear&>(layer);
+          op.is_conv = false;
+          op.in_channels = fc.in_features();
+          op.out_channels = fc.out_features();
+          op.kernel = 1;
+          ternarize(fc.weight().value, fc.weight_bits(), op.weights, alpha);
+        }
+
+        // Look ahead for BatchNorm and ActQuant to absorb.
+        const BatchNorm* bn = nullptr;
+        const ActQuant* act = nullptr;
+        std::size_t consumed = 0;
+        if (i + 1 < seq.size() &&
+            seq.layer(i + 1).kind() == LayerKind::kBatchNorm) {
+          bn = static_cast<const BatchNorm*>(&seq.layer(i + 1));
+          ++consumed;
+        }
+        if (i + 1 + consumed < seq.size() &&
+            seq.layer(i + 1 + consumed).kind() == LayerKind::kActQuant) {
+          act = static_cast<const ActQuant*>(&seq.layer(i + 1 + consumed));
+          ++consumed;
+        }
+        i += consumed;
+
+        // Affine pre-activation per channel: v = A_c * acc + B_c.
+        std::vector<double> a_coef(static_cast<std::size_t>(op.out_channels));
+        std::vector<double> b_coef(static_cast<std::size_t>(op.out_channels));
+        for (int c = 0; c < op.out_channels; ++c) {
+          double a = alpha[static_cast<std::size_t>(c)] * f;
+          double b = 0.0;
+          if (bn != nullptr) {
+            const double inv_std =
+                1.0 / std::sqrt(static_cast<double>(
+                                    bn->running_var()[static_cast<std::size_t>(c)]) +
+                                kBnEps);
+            const double gamma = bn->gamma()[static_cast<std::size_t>(c)];
+            const double beta = bn->beta()[static_cast<std::size_t>(c)];
+            const double mean = bn->running_mean()[static_cast<std::size_t>(c)];
+            b = beta - gamma * mean * inv_std + gamma * inv_std * b;
+            a = gamma * inv_std * a;
+          }
+          a_coef[static_cast<std::size_t>(c)] = a;
+          b_coef[static_cast<std::size_t>(c)] = b;
+        }
+
+        if (act != nullptr && act->bits() > 0) {
+          // Threshold stage: level n iff v crosses (n - 0.5) * s / L.
+          const int levels = (1 << act->bits()) - 1;
+          const double s = std::max<double>(act->scale(), 1e-12);
+          op.levels = levels;
+          op.thresholds.resize(static_cast<std::size_t>(op.out_channels));
+          op.ascending.resize(static_cast<std::size_t>(op.out_channels));
+          for (int c = 0; c < op.out_channels; ++c) {
+            auto& tch = op.thresholds[static_cast<std::size_t>(c)];
+            tch.resize(static_cast<std::size_t>(levels));
+            const double a = a_coef[static_cast<std::size_t>(c)];
+            const double b = b_coef[static_cast<std::size_t>(c)];
+            if (std::abs(a) < 1e-300) {
+              // Degenerate: constant pre-activation; level is fixed.
+              const double v = b;
+              const int n0 = std::clamp(
+                  static_cast<int>(std::lround(std::clamp(v, 0.0, s) / s *
+                                               levels)),
+                  0, levels);
+              op.ascending[static_cast<std::size_t>(c)] = 1;
+              for (int n = 0; n < levels; ++n) {
+                tch[static_cast<std::size_t>(n)] =
+                    n < n0 ? -std::numeric_limits<double>::infinity()
+                           : std::numeric_limits<double>::infinity();
+              }
+              continue;
+            }
+            op.ascending[static_cast<std::size_t>(c)] = a > 0 ? 1 : 0;
+            for (int n = 1; n <= levels; ++n) {
+              const double boundary = (n - 0.5) * s / levels;
+              tch[static_cast<std::size_t>(n - 1)] = (boundary - b) / a;
+            }
+          }
+        } else {
+          // Raw affine output (final classifier).
+          op.levels = 0;
+          op.out_scale = a_coef;
+          op.out_bias = b_coef;
+        }
+        ops.push_back(std::move(op));
+
+        // Update the stored-value scale for downstream layers.
+        if (act != nullptr && act->bits() > 0) {
+          const int levels = (1 << act->bits()) - 1;
+          f = static_cast<double>(act->scale()) / levels;
+        } else {
+          f = 1.0;  // raw logits carry their true value
+        }
+        break;
+      }
+      case LayerKind::kMaxPool: {
+        const auto& pool = static_cast<const MaxPool2d&>(layer);
+        StreamlinedOp op;
+        op.kind = StreamlinedOp::Kind::kPool;
+        op.pool_kernel = pool.kernel();
+        op.pool_stride = pool.stride();
+        ops.push_back(op);
+        break;
+      }
+      case LayerKind::kFlatten: {
+        StreamlinedOp op;
+        op.kind = StreamlinedOp::Kind::kFlatten;
+        ops.push_back(op);
+        break;
+      }
+      case LayerKind::kBatchNorm:
+      case LayerKind::kActQuant:
+        // Only reachable for a BN/ActQuant without a preceding conv/fc,
+        // which the CNV family never produces.
+        throw ConfigError("streamlining: dangling BatchNorm/ActQuant");
+    }
+  }
+}
+
+/// Integer MVTU execution over stored values.
+Tensor run_mvtu(const StreamlinedOp& op, const Tensor& input) {
+  ADAPEX_ASSERT(op.kind == StreamlinedOp::Kind::kMvtu);
+  const int batch = input.dim(0);
+  Tensor acc;
+  if (op.is_conv) {
+    const int h = input.dim(2), w = input.dim(3);
+    const int oh = ops::out_dim(h, op.kernel, 1);
+    const int ow = ops::out_dim(w, op.kernel, 1);
+    ADAPEX_CHECK(input.dim(1) == op.in_channels,
+                 "streamlined conv channel mismatch");
+    acc = Tensor({batch, op.out_channels, oh, ow});
+    const std::size_t per_row = static_cast<std::size_t>(op.in_channels) *
+                                op.kernel * op.kernel;
+    for (int n = 0; n < batch; ++n) {
+      for (int fo = 0; fo < op.out_channels; ++fo) {
+        const std::int8_t* wrow = op.weights.data() +
+                                  static_cast<std::size_t>(fo) * per_row;
+        for (int oy = 0; oy < oh; ++oy) {
+          for (int ox = 0; ox < ow; ++ox) {
+            double sum = 0.0;
+            std::size_t wi = 0;
+            for (int ci = 0; ci < op.in_channels; ++ci) {
+              for (int ky = 0; ky < op.kernel; ++ky) {
+                for (int kx = 0; kx < op.kernel; ++kx, ++wi) {
+                  const std::int8_t z = wrow[wi];
+                  if (z == 0) continue;
+                  const float x = input.at4(n, ci, oy + ky, ox + kx);
+                  sum += z > 0 ? x : -x;
+                }
+              }
+            }
+            acc.at4(n, fo, oy, ox) = static_cast<float>(sum);
+          }
+        }
+      }
+    }
+  } else {
+    ADAPEX_CHECK(input.ndim() == 2 && input.dim(1) == op.in_channels,
+                 "streamlined fc feature mismatch");
+    acc = Tensor({batch, op.out_channels});
+    for (int n = 0; n < batch; ++n) {
+      for (int fo = 0; fo < op.out_channels; ++fo) {
+        const std::int8_t* wrow =
+            op.weights.data() +
+            static_cast<std::size_t>(fo) * op.in_channels;
+        double sum = 0.0;
+        for (int ci = 0; ci < op.in_channels; ++ci) {
+          const std::int8_t z = wrow[ci];
+          if (z == 0) continue;
+          const float x = input.at2(n, ci);
+          sum += z > 0 ? x : -x;
+        }
+        acc.at2(n, fo) = static_cast<float>(sum);
+      }
+    }
+  }
+
+  // Threshold or affine stage.
+  const std::size_t plane = acc.numel() / static_cast<std::size_t>(batch) /
+                            static_cast<std::size_t>(op.out_channels);
+  Tensor out(acc.shape());
+  for (int n = 0; n < batch; ++n) {
+    for (int c = 0; c < op.out_channels; ++c) {
+      const std::size_t base =
+          (static_cast<std::size_t>(n) * op.out_channels + c) * plane;
+      if (op.levels > 0) {
+        const auto& tch = op.thresholds[static_cast<std::size_t>(c)];
+        const bool asc = op.ascending[static_cast<std::size_t>(c)] != 0;
+        for (std::size_t p = 0; p < plane; ++p) {
+          const double a = acc[base + p];
+          int level = 0;
+          for (double t : tch) {
+            if (asc ? a >= t : a <= t) ++level;
+          }
+          out[base + p] = static_cast<float>(level);
+        }
+      } else {
+        const double sc = op.out_scale[static_cast<std::size_t>(c)];
+        const double bi = op.out_bias[static_cast<std::size_t>(c)];
+        for (std::size_t p = 0; p < plane; ++p) {
+          out[base + p] = static_cast<float>(sc * acc[base + p] + bi);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor run_ops(const std::vector<StreamlinedOp>& ops_list, Tensor x) {
+  std::vector<int> argmax_scratch;
+  for (const auto& op : ops_list) {
+    switch (op.kind) {
+      case StreamlinedOp::Kind::kMvtu:
+        x = run_mvtu(op, x);
+        break;
+      case StreamlinedOp::Kind::kPool:
+        x = ops::maxpool_forward(x, op.pool_kernel, op.pool_stride,
+                                 argmax_scratch);
+        break;
+      case StreamlinedOp::Kind::kFlatten: {
+        const int batch = x.dim(0);
+        x = x.reshaped({batch, static_cast<int>(x.numel()) / batch});
+        break;
+      }
+    }
+  }
+  return x;
+}
+
+}  // namespace
+
+StreamlinedModel streamline(const BranchyModel& model, int in_channels,
+                            int image_size) {
+  StreamlinedModel out;
+  out.in_channels = in_channels;
+  out.image_size = image_size;
+  double f = 1.0;  // raw image values
+  std::vector<double> f_at_block(model.num_blocks());
+  for (std::size_t b = 0; b < model.num_blocks(); ++b) {
+    std::vector<StreamlinedOp> ops_list;
+    streamline_sequential(model.block(b), f, ops_list);
+    out.blocks.push_back(std::move(ops_list));
+    f_at_block[b] = f;
+  }
+  for (std::size_t e = 0; e < model.num_exits(); ++e) {
+    StreamlinedModel::Exit exit;
+    exit.after_block = model.exit(e).after_block;
+    double fe = f_at_block[static_cast<std::size_t>(exit.after_block)];
+    streamline_sequential(*model.exit(e).head, fe, exit.head);
+    out.exits.push_back(std::move(exit));
+  }
+  return out;
+}
+
+std::vector<Tensor> run_streamlined(const StreamlinedModel& model,
+                                    const Tensor& input) {
+  ADAPEX_CHECK(input.ndim() == 4 && input.dim(1) == model.in_channels &&
+                   input.dim(2) == model.image_size &&
+                   input.dim(3) == model.image_size,
+               "streamlined input shape mismatch");
+  std::vector<Tensor> outputs(model.exits.size() + 1);
+  Tensor x = input;
+  for (std::size_t b = 0; b < model.blocks.size(); ++b) {
+    x = run_ops(model.blocks[b], std::move(x));
+    for (std::size_t e = 0; e < model.exits.size(); ++e) {
+      if (model.exits[e].after_block == static_cast<int>(b)) {
+        outputs[e] = run_ops(model.exits[e].head, x);
+      }
+    }
+  }
+  outputs.back() = std::move(x);
+  return outputs;
+}
+
+}  // namespace adapex

@@ -1,0 +1,87 @@
+// FINN streamlining: BatchNorm + activation quantization -> integer
+// thresholds.
+//
+// FINN's MVTU does not execute BatchNorm or activation quantization as
+// layers; its threshold stage compares the integer accumulator against a
+// per-channel, per-level threshold table and emits the activation's integer
+// level directly. This module reproduces that transformation and provides
+// an integer inference path to validate it:
+//
+//   For a conv/fc layer with per-channel ternary weights (alpha_c * z,
+//   z in {-1,0,1}) consuming activations of scale s_in with L levels, the
+//   pre-activation is v = A_c * acc + B_c where acc = sum(z * m) is the
+//   integer accumulator, A_c folds alpha_c, s_in/L, and the BatchNorm
+//   scale, and B_c folds the BatchNorm shift. The quantized activation
+//   level is n iff v crosses (n - 0.5) * s_out / L, which solves to an
+//   integer-domain threshold T_n per channel (direction flipped when
+//   A_c < 0).
+//
+// run_streamlined() executes the whole branched model in this integer
+// domain (max-pool commutes with the monotone level encoding, exactly as
+// FINN reorders pooling behind thresholding) and must match the float
+// model's logits up to float rounding — asserted by tests. This is the
+// repo's substitute for checking FINN's streamlined graph against the
+// Brevitas reference.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/branchy.hpp"
+
+namespace adapex {
+
+/// One streamlined compute operation.
+struct StreamlinedOp {
+  enum class Kind { kMvtu, kPool, kFlatten };
+  Kind kind = Kind::kMvtu;
+
+  // --- kMvtu ---
+  bool is_conv = false;
+  int in_channels = 0;   ///< conv channels / fc features
+  int out_channels = 0;
+  int kernel = 1;
+  /// Ternary weight matrix [out][in * k * k] in {-1, 0, +1}.
+  std::vector<std::int8_t> weights;
+  /// Output activation levels (2^bits - 1); 0 when the layer emits raw
+  /// logits through the affine parameters below instead of thresholding.
+  int levels = 0;
+  /// thresholds[c][n]: accumulator threshold for level n+1 of channel c.
+  std::vector<std::vector<double>> thresholds;
+  /// Per-channel sign of the affine slope (thresholding direction).
+  std::vector<std::int8_t> ascending;
+  /// Raw-output layers (final classifiers): logits = scale[c]*acc + bias[c].
+  std::vector<double> out_scale;
+  std::vector<double> out_bias;
+
+  // --- kPool ---
+  int pool_kernel = 0;
+  int pool_stride = 0;
+};
+
+/// A streamlined branched model (mirrors BranchyModel's structure).
+struct StreamlinedModel {
+  std::vector<std::vector<StreamlinedOp>> blocks;
+  struct Exit {
+    int after_block = 0;
+    std::vector<StreamlinedOp> head;
+  };
+  std::vector<Exit> exits;
+  int in_channels = 3;
+  int image_size = 32;
+};
+
+/// Streamlines a trained model. Requires every conv/fc to use 2-bit
+/// (ternary) weights and every activation quantizer to be 2-bit or wider;
+/// throws ConfigError otherwise.
+StreamlinedModel streamline(const BranchyModel& model, int in_channels,
+                            int image_size);
+
+/// Runs integer-threshold inference on a [N,C,H,W] float input batch.
+/// Returns logits per output (exits then final), matching
+/// BranchyModel::forward(..., train=false) up to float rounding.
+std::vector<Tensor> run_streamlined(const StreamlinedModel& model,
+                                    const Tensor& input);
+
+}  // namespace adapex

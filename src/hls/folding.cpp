@@ -1,0 +1,157 @@
+#include "hls/folding.hpp"
+
+#include <algorithm>
+
+namespace adapex {
+
+int largest_divisor_at_most(int n, int cap) {
+  ADAPEX_CHECK(n >= 1 && cap >= 1, "divisor search needs positive arguments");
+  for (int d = std::min(n, cap); d >= 1; --d) {
+    if (n % d == 0) return d;
+  }
+  return 1;
+}
+
+Json FoldingConfig::to_json(const std::vector<LayerSite>& sites) const {
+  ADAPEX_CHECK(folds.size() == sites.size(),
+               "folding arity does not match layer count");
+  Json j = Json::object();
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    Json entry = Json::object();
+    entry["PE"] = folds[i].pe;
+    entry["SIMD"] = folds[i].simd;
+    j[sites[i].name] = std::move(entry);
+  }
+  return j;
+}
+
+FoldingConfig FoldingConfig::from_json(const Json& j,
+                                       const std::vector<LayerSite>& sites) {
+  FoldingConfig cfg;
+  cfg.folds.reserve(sites.size());
+  for (const auto& site : sites) {
+    ADAPEX_CHECK(j.contains(site.name),
+                 "folding config missing layer: " + site.name);
+    const Json& entry = j.at(site.name);
+    LayerFold fold;
+    fold.pe = static_cast<int>(entry.at("PE").as_int());
+    fold.simd = static_cast<int>(entry.at("SIMD").as_int());
+    cfg.folds.push_back(fold);
+  }
+  validate_folding(sites, cfg);
+  return cfg;
+}
+
+FoldingConfig default_folding(const std::vector<LayerSite>& sites, int pe_cap,
+                              int simd_cap) {
+  FoldingConfig cfg;
+  cfg.folds.reserve(sites.size());
+  for (const auto& site : sites) {
+    LayerFold fold;
+    fold.pe = largest_divisor_at_most(site.out_channels, pe_cap);
+    fold.simd = largest_divisor_at_most(site.in_channels, simd_cap);
+    cfg.folds.push_back(fold);
+  }
+  return cfg;
+}
+
+FoldingConfig styled_folding(const std::vector<LayerSite>& sites,
+                             const FoldingStyle& style) {
+  ADAPEX_CHECK(!style.conv_caps_per_block.empty(),
+               "folding style needs at least one block cap");
+  FoldingConfig cfg;
+  cfg.folds.reserve(sites.size());
+  for (const auto& site : sites) {
+    std::pair<int, int> caps;
+    if (site.loc == SiteLoc::kBackbone) {
+      if (site.is_conv) {
+        const std::size_t block = std::min(
+            static_cast<std::size_t>(site.group),
+            style.conv_caps_per_block.size() - 1);
+        caps = style.conv_caps_per_block[block];
+      } else {
+        caps = style.fc_caps;
+      }
+    } else {
+      caps = site.is_conv ? style.exit_conv_caps : style.exit_fc_caps;
+    }
+    LayerFold fold;
+    fold.pe = largest_divisor_at_most(site.out_channels, caps.first);
+    fold.simd = largest_divisor_at_most(
+        site.is_conv ? site.kernel * site.kernel * site.in_channels
+                     : site.in_channels,
+        caps.second);
+    cfg.folds.push_back(fold);
+  }
+  return cfg;
+}
+
+namespace {
+
+long site_cycles(const LayerSite& site, int pe, int simd) {
+  const long mw =
+      static_cast<long>(site.kernel) * site.kernel * site.in_channels;
+  const long pixels = static_cast<long>(site.out_dim) * site.out_dim;
+  return pixels * (mw / simd) * (site.out_channels / pe);
+}
+
+}  // namespace
+
+FoldingConfig balanced_folding(const std::vector<LayerSite>& sites,
+                               long target_cycles, int pe_cap, int simd_cap) {
+  ADAPEX_CHECK(target_cycles > 0, "target cycles must be positive");
+  FoldingConfig cfg;
+  cfg.folds.reserve(sites.size());
+  for (const auto& site : sites) {
+    // Enumerate divisor pairs within caps; pick the cheapest (pe * simd)
+    // meeting the target, falling back to the fastest feasible fold.
+    const int in_width =
+        site.is_conv ? site.kernel * site.kernel * site.in_channels
+                     : site.in_channels;
+    LayerFold best{largest_divisor_at_most(site.out_channels, pe_cap),
+                   largest_divisor_at_most(in_width, simd_cap)};
+    long best_cost = static_cast<long>(best.pe) * best.simd + 1;
+    bool met = false;
+    for (int pe = 1; pe <= std::min(site.out_channels, pe_cap); ++pe) {
+      if (site.out_channels % pe != 0) continue;
+      for (int simd = 1; simd <= std::min(in_width, simd_cap);
+           ++simd) {
+        if (in_width % simd != 0) continue;
+        if (site_cycles(site, pe, simd) > target_cycles) continue;
+        const long cost = static_cast<long>(pe) * simd;
+        if (!met || cost < best_cost) {
+          best = LayerFold{pe, simd};
+          best_cost = cost;
+          met = true;
+        }
+      }
+    }
+    cfg.folds.push_back(best);
+  }
+  return cfg;
+}
+
+void validate_folding(const std::vector<LayerSite>& sites,
+                      const FoldingConfig& folding) {
+  ADAPEX_CHECK(folding.folds.size() == sites.size(),
+               "folding arity does not match layer count");
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    const auto& site = sites[i];
+    const auto& fold = folding.folds[i];
+    if (fold.pe < 1 || site.out_channels % fold.pe != 0) {
+      throw ConfigError("PE=" + std::to_string(fold.pe) +
+                        " does not divide out_channels=" +
+                        std::to_string(site.out_channels) + " at " + site.name);
+    }
+    const int in_width =
+        site.is_conv ? site.kernel * site.kernel * site.in_channels
+                     : site.in_channels;
+    if (fold.simd < 1 || in_width % fold.simd != 0) {
+      throw ConfigError("SIMD=" + std::to_string(fold.simd) +
+                        " does not divide matrix width=" +
+                        std::to_string(in_width) + " at " + site.name);
+    }
+  }
+}
+
+}  // namespace adapex

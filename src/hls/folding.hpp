@@ -1,0 +1,88 @@
+// FINN-style folding configuration.
+//
+// FINN exposes accelerator parallelism through a JSON configuration that
+// assigns each MVTU (the matrix-vector-threshold unit executing one conv or
+// fc layer) a number of processing elements (PE) and SIMD lanes:
+//   - PE must divide the layer's output channels (conv filters / fc
+//     outputs); each PE computes out_channels/PE rows.
+//   - SIMD must divide the layer's matrix width — k^2 * ch_in for conv
+//     (FINN's MVAU unrolls across the whole im2col window), input features
+//     for fc; each lane consumes one input element per cycle.
+// These are exactly the two divisibility properties the paper's
+// dataflow-aware pruning preserves (section IV-A2).
+//
+// Folds are indexed in the canonical walk order (see model/walk.hpp).
+
+#pragma once
+
+#include <vector>
+
+#include "common/json.hpp"
+#include "model/walk.hpp"
+
+namespace adapex {
+
+/// Parallelism of one MVTU.
+struct LayerFold {
+  int pe = 1;
+  int simd = 1;
+};
+
+/// Per-layer folding for a whole accelerator.
+struct FoldingConfig {
+  std::vector<LayerFold> folds;  ///< One per compute layer, walk order.
+
+  Json to_json(const std::vector<LayerSite>& sites) const;
+  static FoldingConfig from_json(const Json& j,
+                                 const std::vector<LayerSite>& sites);
+};
+
+/// Largest divisor of `n` that is <= `cap` (>= 1).
+int largest_divisor_at_most(int n, int cap);
+
+/// Generates a folding config for the model: each layer gets the largest
+/// PE <= pe_cap dividing its outputs and the largest SIMD <= simd_cap
+/// dividing its inputs. Caps model the resource budget a user would spend;
+/// FINN's full-scale CNV configs use caps of 16-64, the reduced-scale
+/// experiments here default to 4.
+FoldingConfig default_folding(const std::vector<LayerSite>& sites,
+                              int pe_cap = 4, int simd_cap = 4);
+
+/// Validates PE/SIMD divisibility for every layer; throws ConfigError with
+/// the offending layer's name otherwise.
+void validate_folding(const std::vector<LayerSite>& sites,
+                      const FoldingConfig& folding);
+
+/// Per-depth folding caps mirroring FINN's shipped CNV configuration, which
+/// spends generous parallelism on the early full-resolution conv layers and
+/// folds the deep, weight-heavy layers tightly (their weight memory
+/// bandwidth is the budget limit). The net effect — reproduced here — is
+/// that the pipeline bottleneck sits in the deep backbone, *after* the exit
+/// branch points, which is what lets a lower confidence threshold raise
+/// effective throughput in the paper's experiments.
+struct FoldingStyle {
+  /// (pe_cap, simd_cap) per backbone block for conv layers. SIMD caps apply
+  /// to the matrix width k^2 * ch_in, so early layers can unroll across the
+  /// kernel window while keeping PE (and thus pruning granularity) modest.
+  std::vector<std::pair<int, int>> conv_caps_per_block = {
+      {4, 36}, {4, 12}, {4, 12}};
+  /// Caps for backbone fully-connected layers.
+  std::pair<int, int> fc_caps = {2, 8};
+  /// Caps for exit-head conv layers.
+  std::pair<int, int> exit_conv_caps = {4, 12};
+  /// Caps for exit-head fully-connected layers.
+  std::pair<int, int> exit_fc_caps = {2, 8};
+};
+
+/// Generates a folding config following the given per-depth style.
+FoldingConfig styled_folding(const std::vector<LayerSite>& sites,
+                             const FoldingStyle& style = FoldingStyle{});
+
+/// Balanced folding: picks, per layer, the cheapest (pe * simd) divisor
+/// pair whose cycle count meets `target_cycles`, within the caps; layers
+/// that cannot meet the target get their fastest feasible fold. Mirrors
+/// FINN's target-fps-driven SetFolding transformation.
+FoldingConfig balanced_folding(const std::vector<LayerSite>& sites,
+                               long target_cycles, int pe_cap, int simd_cap);
+
+}  // namespace adapex

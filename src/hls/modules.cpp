@@ -1,0 +1,138 @@
+#include "hls/modules.hpp"
+
+#include <cmath>
+
+namespace adapex {
+
+const char* to_string(HlsModuleKind kind) {
+  switch (kind) {
+    case HlsModuleKind::kSwu: return "SWU";
+    case HlsModuleKind::kMvtu: return "MVTU";
+    case HlsModuleKind::kPool: return "Pool";
+    case HlsModuleKind::kBranch: return "Branch";
+  }
+  return "?";
+}
+
+long mvtu_cycles(const MvtuGeometry& g, int pe, int simd) {
+  ADAPEX_CHECK(pe >= 1 && simd >= 1, "fold must be positive");
+  const long mw = static_cast<long>(g.kernel) * g.kernel * g.in_channels;
+  ADAPEX_CHECK(g.out_channels % pe == 0, "PE must divide output channels");
+  // FINN's MVAU constraint: SIMD divides the full matrix width MW =
+  // k^2 * ch_in (kernel unrolling lets SIMD exceed the channel count).
+  ADAPEX_CHECK(mw % simd == 0, "SIMD must divide k^2 * input channels");
+  const long sf = mw / simd;                     // synapse fold
+  const long nf = static_cast<long>(g.out_channels) / pe;  // neuron fold
+  const long pixels = static_cast<long>(g.out_dim) * g.out_dim;
+  return pixels * sf * nf;
+}
+
+long swu_cycles(const MvtuGeometry& g, int simd) {
+  ADAPEX_CHECK(g.is_conv, "SWU only exists for conv layers");
+  const long window = static_cast<long>(g.kernel) * g.kernel * g.in_channels;
+  const long pixels = static_cast<long>(g.out_dim) * g.out_dim;
+  return pixels * window / simd;
+}
+
+long pool_cycles(int channels, int in_dim, int stream_pe) {
+  ADAPEX_CHECK(stream_pe >= 1, "stream parallelism must be positive");
+  return static_cast<long>(in_dim) * in_dim * channels / stream_pe;
+}
+
+long branch_cycles(int channels, int dim, int stream_pe) {
+  ADAPEX_CHECK(stream_pe >= 1, "stream parallelism must be positive");
+  return static_cast<long>(dim) * dim * channels / stream_pe;
+}
+
+namespace {
+
+long fifo_resources_bram(long width_bits, int depth, const HlsCostModel& cost) {
+  // Shallow FIFOs map to LUTRAM; account a BRAM only when the buffered bits
+  // exceed half a BRAM18.
+  const double bits = static_cast<double>(width_bits) * depth;
+  if (bits < cost.bram_bits / 2) return 0;
+  return static_cast<long>(std::ceil(bits / cost.bram_bits));
+}
+
+}  // namespace
+
+Resources mvtu_resources(const MvtuGeometry& g, int pe, int simd,
+                         const HlsCostModel& cost) {
+  Resources r;
+  const double mac_lut =
+      cost.lut_per_mac_base +
+      cost.lut_per_mac_per_bitbit * g.weight_bits * g.act_bits;
+  r.lut = static_cast<long>(std::ceil(pe * simd * mac_lut + pe * cost.lut_per_pe));
+  r.ff = static_cast<long>(std::ceil(r.lut * cost.ff_per_lut));
+  // Weight memory, partitioned across PE*SIMD lanes; each partition rounds
+  // up to BRAM granularity once large enough (small partitions fold into
+  // LUTRAM, matching FINN's mem_mode=const behaviour for tiny layers).
+  const double weight_bits = static_cast<double>(g.out_channels) *
+                             g.in_channels * g.kernel * g.kernel *
+                             g.weight_bits;
+  const double bits_per_partition = weight_bits / (pe * simd);
+  if (bits_per_partition >= cost.bram_bits / 4) {
+    // Large layers: one BRAM group per PE*SIMD partition (FINN's
+    // decoupled/const weight memory).
+    r.bram = static_cast<long>(
+        pe * simd *
+        std::ceil(bits_per_partition / cost.bram_bits));
+  } else if (weight_bits >= cost.bram_bits / 2) {
+    // Mid-size layers: BRAM-backed but partitions share blocks (capacity
+    // bound rather than partition bound).
+    r.bram = static_cast<long>(std::ceil(weight_bits / cost.bram_bits));
+  } else {
+    // Tiny layers fold into LUTRAM.
+    r.lut += static_cast<long>(std::ceil(weight_bits / 64.0));
+  }
+  // Input FIFO.
+  r.bram += fifo_resources_bram(static_cast<long>(simd) * g.act_bits,
+                                cost.fifo_depth, cost);
+  // Low-precision MACs synthesize to LUTs, not DSPs (FINN's choice for
+  // weights <= 4 bits); wider precisions would take DSP slices.
+  if (g.weight_bits > 4 || g.weight_bits <= 0) {
+    r.dsp = static_cast<long>(pe) * simd;
+  }
+  return r;
+}
+
+Resources swu_resources(const MvtuGeometry& g, int simd,
+                        const HlsCostModel& cost) {
+  Resources r;
+  // k line buffers of the input feature map row, in BRAM.
+  const double buffer_bits = static_cast<double>(g.kernel) * g.in_dim *
+                             g.in_channels * g.act_bits;
+  r.bram = static_cast<long>(std::ceil(buffer_bits / cost.bram_bits));
+  r.lut = 150 + 4L * simd * g.act_bits;  // address generation + mux
+  r.ff = static_cast<long>(std::ceil(r.lut * cost.ff_per_lut));
+  return r;
+}
+
+Resources pool_resources(int channels, int stream_pe, int act_bits,
+                         const HlsCostModel& cost) {
+  Resources r;
+  r.lut = 60 + 3L * stream_pe * act_bits;
+  r.ff = static_cast<long>(std::ceil(r.lut * cost.ff_per_lut));
+  // One row buffer for the 2-D pooling window.
+  const double buffer_bits = static_cast<double>(channels) * act_bits * 32;
+  r.bram = buffer_bits >= cost.bram_bits / 2
+               ? static_cast<long>(std::ceil(buffer_bits / cost.bram_bits))
+               : 0;
+  return r;
+}
+
+Resources branch_resources(int channels, int dim, int stream_pe, int act_bits,
+                           const HlsCostModel& cost) {
+  Resources r;
+  // Stream duplication is cheap in logic but buffers the duplicated feature
+  // map: the dominant cost is the FIFO decoupling the exit head from the
+  // backbone (the paper observes the overhead lands mainly in BRAM).
+  r.lut = 80 + 2L * stream_pe * act_bits;
+  r.ff = static_cast<long>(std::ceil(r.lut * cost.ff_per_lut));
+  const double fifo_bits =
+      static_cast<double>(dim) * dim * channels * act_bits / 4.0;
+  r.bram = static_cast<long>(std::ceil(fifo_bits / cost.bram_bits));
+  return r;
+}
+
+}  // namespace adapex

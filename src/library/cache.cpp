@@ -1,0 +1,51 @@
+#include "library/cache.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <sstream>
+
+namespace adapex {
+
+std::string library_cache_key(const LibraryGenSpec& spec) {
+  std::ostringstream key;
+  key << spec.dataset.name << "_c" << spec.dataset.num_classes << "_n"
+      << spec.dataset.train_size << "x" << spec.dataset.test_size << "_no"
+      << spec.dataset.noise_min << "-" << spec.dataset.noise_max << "-"
+      << spec.dataset.easy_fraction << "_sd" << spec.dataset.seed << "_w";
+  for (int c : spec.cnv.conv_channels) key << c << ".";
+  key << "_f";
+  for (int f : spec.cnv.fc_features) key << f << ".";
+  key << "_r" << spec.prune_rates_pct.size() << "_t"
+      << spec.conf_thresholds_pct.size() << "_e" << spec.initial_train.epochs
+      << "." << spec.retrain.epochs << "_v" << spec.variants.size() << "_s"
+      << spec.seed;
+  // FNV-1a over the readable key keeps filenames short and stable.
+  const std::string readable = key.str();
+  std::uint64_t h = 1469598103934665603ULL;
+  for (char c : readable) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  std::ostringstream out;
+  out << spec.dataset.name << "_" << std::hex << h;
+  return out.str();
+}
+
+Library generate_or_load_library(const LibraryGenSpec& spec,
+                                 const std::string& dir) {
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/library_" + library_cache_key(spec) + ".json";
+  if (std::filesystem::exists(path)) {
+    return Library::load(path);
+  }
+  Library lib = generate_library(spec);
+  lib.save(path);
+  return lib;
+}
+
+std::string default_artifact_dir() {
+  const char* env = std::getenv("ADAPEX_ARTIFACTS");
+  return env ? env : "artifacts";
+}
+
+}  // namespace adapex

@@ -1,0 +1,28 @@
+// Library artifact cache.
+//
+// Library generation trains ~50 models per dataset, which takes minutes;
+// every bench that needs the same library shares the result through this
+// disk cache. The cache key encodes the generation-relevant parts of the
+// spec, so changing the scale, sweeps, or dataset regenerates.
+
+#pragma once
+
+#include <string>
+
+#include "library/generator.hpp"
+
+namespace adapex {
+
+/// Deterministic cache key for a generation spec (dataset, scale knobs,
+/// sweeps, seed — everything that affects the output).
+std::string library_cache_key(const LibraryGenSpec& spec);
+
+/// Loads the library from `<dir>/library_<key>.json` if present, else
+/// generates and saves it. `dir` is created if missing.
+Library generate_or_load_library(const LibraryGenSpec& spec,
+                                 const std::string& dir);
+
+/// Default artifact directory: $ADAPEX_ARTIFACTS or "artifacts".
+std::string default_artifact_dir();
+
+}  // namespace adapex

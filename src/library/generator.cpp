@@ -1,0 +1,148 @@
+#include "library/generator.hpp"
+
+#include <algorithm>
+
+#include "nn/eval.hpp"
+#include "pruning/pruning.hpp"
+
+namespace adapex {
+
+void set_paper_sweeps(LibraryGenSpec& spec) {
+  spec.prune_rates_pct.clear();
+  for (int r = 0; r <= 85; r += 5) spec.prune_rates_pct.push_back(r);
+  spec.conf_thresholds_pct.clear();
+  for (int t = 0; t <= 100; t += 5) spec.conf_thresholds_pct.push_back(t);
+}
+
+namespace {
+
+void progress(const LibraryGenSpec& spec, const std::string& msg) {
+  if (spec.on_progress) spec.on_progress(msg);
+}
+
+}  // namespace
+
+Library generate_library(const LibraryGenSpec& spec) {
+  ADAPEX_CHECK(spec.cnv.num_classes == spec.dataset.num_classes,
+               "CNV class count must match the dataset");
+  ADAPEX_CHECK(!spec.prune_rates_pct.empty(), "no pruning rates configured");
+  ADAPEX_CHECK(!spec.variants.empty(), "no model variants configured");
+
+  const SyntheticDataset data = make_synthetic(spec.dataset);
+  Library lib;
+  lib.dataset = spec.dataset.name;
+  lib.static_power_w = spec.power.static_w;
+
+  // Train each family once.
+  Rng init_rng(spec.seed);
+  BranchyModel base_plain = build_cnv(spec.cnv, init_rng);
+  progress(spec, "training no-exit CNV (" +
+                     std::to_string(spec.initial_train.epochs) + " epochs)");
+  train_model(base_plain, data.train, spec.dataset.flip_symmetry,
+              spec.initial_train);
+
+  const bool wants_exits =
+      std::any_of(spec.variants.begin(), spec.variants.end(), [](ModelVariant v) {
+        return v != ModelVariant::kNoExit;
+      });
+  BranchyModel base_ee;
+  if (wants_exits) {
+    Rng ee_rng(spec.seed + 1);
+    base_ee = build_cnv_with_exits(spec.cnv, spec.exits, ee_rng);
+    progress(spec, "training early-exit CNV (joint loss, " +
+                       std::to_string(spec.initial_train.epochs) + " epochs)");
+    train_model(base_ee, data.train, spec.dataset.flip_symmetry,
+                spec.initial_train);
+  }
+
+  // Reference accuracy: unpruned no-exit model.
+  {
+    auto eval = evaluate_exits(base_plain, data.test);
+    lib.reference_accuracy = apply_threshold(eval, 2.0).accuracy;
+    progress(spec, "reference accuracy (FINN, unpruned): " +
+                       std::to_string(lib.reference_accuracy));
+  }
+
+  int next_accel_id = 0;
+  for (ModelVariant variant : spec.variants) {
+    const bool has_exits = variant != ModelVariant::kNoExit;
+    BranchyModel& base = has_exits ? base_ee : base_plain;
+
+    for (int rate_pct : spec.prune_rates_pct) {
+      // pruned-exits and not-pruned-exits coincide at rate 0; emit once.
+      if (variant == ModelVariant::kPrunedExits && rate_pct == 0) continue;
+
+      BranchyModel model = base.clone();
+      auto sites = walk_compute_layers(model, spec.accel.in_channels,
+                                       spec.accel.image_size);
+      const FoldingConfig folding = styled_folding(sites, spec.folding_style);
+
+      PruneOptions popts;
+      popts.rate = rate_pct / 100.0;
+      popts.prune_exits = variant == ModelVariant::kPrunedExits;
+      popts.folding = folding;
+      popts.in_channels = spec.accel.in_channels;
+      popts.image_size = spec.accel.image_size;
+      const PruneReport report = prune_model(model, popts);
+
+      if (report.achieved_rate > 0.0) {
+        TrainConfig rt = spec.retrain;
+        rt.seed = spec.seed + 1000 + static_cast<std::uint64_t>(rate_pct) * 3 +
+                  static_cast<std::uint64_t>(variant);
+        train_model(model, data.train, spec.dataset.flip_symmetry, rt);
+      }
+
+      const Accelerator acc = compile_accelerator(model, folding, spec.accel);
+      AcceleratorRecord arec;
+      arec.id = next_accel_id++;
+      arec.variant = variant;
+      arec.prune_rate_pct = rate_pct;
+      arec.resources = acc.total;
+      arec.exit_overhead = acc.exit_overhead;
+      arec.reconfig_ms = spec.reconfig.time_ms(acc);
+      lib.accelerators.push_back(arec);
+
+      const ExitEvaluation eval = evaluate_exits(model, data.test);
+      if (!has_exits) {
+        const auto stats = apply_threshold(eval, 2.0);
+        const auto perf = estimate_performance(acc, {1.0}, spec.power);
+        LibraryEntry entry;
+        entry.accel_id = arec.id;
+        entry.variant = variant;
+        entry.prune_rate_pct = rate_pct;
+        entry.conf_threshold_pct = -1;
+        entry.accuracy = stats.accuracy;
+        entry.exit_fractions = {1.0};
+        entry.ips = perf.ips;
+        entry.latency_ms = perf.latency_ms;
+        entry.peak_power_w = perf.peak_power_w;
+        entry.energy_per_inf_j = perf.energy_per_inf_j;
+        lib.entries.push_back(entry);
+      } else {
+        for (int ct : spec.conf_thresholds_pct) {
+          const auto stats = apply_threshold(eval, ct / 100.0);
+          const auto perf =
+              estimate_performance(acc, stats.exit_fraction, spec.power);
+          LibraryEntry entry;
+          entry.accel_id = arec.id;
+          entry.variant = variant;
+          entry.prune_rate_pct = rate_pct;
+          entry.conf_threshold_pct = ct;
+          entry.accuracy = stats.accuracy;
+          entry.exit_fractions = stats.exit_fraction;
+          entry.ips = perf.ips;
+          entry.latency_ms = perf.latency_ms;
+          entry.peak_power_w = perf.peak_power_w;
+          entry.energy_per_inf_j = perf.energy_per_inf_j;
+          lib.entries.push_back(entry);
+        }
+      }
+      progress(spec, std::string(to_string(variant)) + " rate " +
+                         std::to_string(rate_pct) + "%: achieved " +
+                         std::to_string(report.achieved_rate));
+    }
+  }
+  return lib;
+}
+
+}  // namespace adapex

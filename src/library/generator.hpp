@@ -1,0 +1,60 @@
+// The AdaPEx Library Generator (design-time step, paper section IV-A).
+//
+// Pipeline per Figure 3: Early-Exit Training -> Dataflow-Aware Pruning (one
+// pruned model per rate step) -> retraining -> CNN compilation & "HLS
+// synthesis" (accelerator compile + analytical models) -> Library rows with
+// accuracy and throughput per (model, confidence threshold).
+//
+// Three model families are generated: the plain CNV (for the FINN and
+// PR-Only baselines) and the early-exit CNV with pruned and with not-pruned
+// exit heads (the design decision Figure 5 ablates). The early-exit model is
+// trained once with the BranchyNet joint loss and cloned before each
+// pruning pass. Test-set evaluation runs once per pruned model; confidence
+// thresholds are applied as post-processing (nn/eval.hpp).
+
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "finn/accelerator.hpp"
+#include "finn/reconfig.hpp"
+#include "library/library.hpp"
+#include "model/cnv.hpp"
+#include "nn/trainer.hpp"
+
+namespace adapex {
+
+/// Everything the generator needs.
+struct LibraryGenSpec {
+  SyntheticSpec dataset;
+  /// Must have num_classes == dataset.num_classes (checked).
+  CnvConfig cnv;
+  /// Exit locations/ops (the prune flag is driven per-variant).
+  ExitsConfig exits;
+  std::vector<ModelVariant> variants = {ModelVariant::kNoExit,
+                                        ModelVariant::kPrunedExits,
+                                        ModelVariant::kNotPrunedExits};
+  /// Paper: 0..85% in 5% steps (18 models per family).
+  std::vector<int> prune_rates_pct;
+  /// Paper: 0..100% in 5% steps.
+  std::vector<int> conf_thresholds_pct;
+  TrainConfig initial_train;
+  TrainConfig retrain;
+  FoldingStyle folding_style;
+  AcceleratorConfig accel;
+  PowerModel power;
+  ReconfigModel reconfig;
+  std::uint64_t seed = 7;
+  /// Progress sink (e.g. [](const std::string& s){ std::cerr << s << "\n"; }).
+  std::function<void(const std::string&)> on_progress;
+};
+
+/// Fills prune_rates_pct / conf_thresholds_pct with the paper's sweeps.
+void set_paper_sweeps(LibraryGenSpec& spec);
+
+/// Runs the full design-time flow and returns the Library.
+Library generate_library(const LibraryGenSpec& spec);
+
+}  // namespace adapex

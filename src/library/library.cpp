@@ -1,0 +1,142 @@
+#include "library/library.hpp"
+
+namespace adapex {
+
+const char* to_string(ModelVariant v) {
+  switch (v) {
+    case ModelVariant::kNoExit: return "no_exit";
+    case ModelVariant::kPrunedExits: return "pruned_exits";
+    case ModelVariant::kNotPrunedExits: return "not_pruned_exits";
+  }
+  return "?";
+}
+
+ModelVariant model_variant_from_string(const std::string& s) {
+  if (s == "no_exit") return ModelVariant::kNoExit;
+  if (s == "pruned_exits") return ModelVariant::kPrunedExits;
+  if (s == "not_pruned_exits") return ModelVariant::kNotPrunedExits;
+  throw ParseError("unknown model variant: " + s);
+}
+
+namespace {
+
+Json resources_to_json(const Resources& r) {
+  Json j = Json::object();
+  j["lut"] = static_cast<double>(r.lut);
+  j["ff"] = static_cast<double>(r.ff);
+  j["bram"] = static_cast<double>(r.bram);
+  j["dsp"] = static_cast<double>(r.dsp);
+  return j;
+}
+
+Resources resources_from_json(const Json& j) {
+  Resources r;
+  r.lut = j.at("lut").as_int();
+  r.ff = j.at("ff").as_int();
+  r.bram = j.at("bram").as_int();
+  r.dsp = j.at("dsp").as_int();
+  return r;
+}
+
+}  // namespace
+
+Json AcceleratorRecord::to_json() const {
+  Json j = Json::object();
+  j["id"] = id;
+  j["variant"] = to_string(variant);
+  j["prune_rate_pct"] = prune_rate_pct;
+  j["resources"] = resources_to_json(resources);
+  j["exit_overhead"] = resources_to_json(exit_overhead);
+  j["reconfig_ms"] = reconfig_ms;
+  return j;
+}
+
+AcceleratorRecord AcceleratorRecord::from_json(const Json& j) {
+  AcceleratorRecord r;
+  r.id = static_cast<int>(j.at("id").as_int());
+  r.variant = model_variant_from_string(j.at("variant").as_string());
+  r.prune_rate_pct = static_cast<int>(j.at("prune_rate_pct").as_int());
+  r.resources = resources_from_json(j.at("resources"));
+  r.exit_overhead = resources_from_json(j.at("exit_overhead"));
+  r.reconfig_ms = j.at("reconfig_ms").as_number();
+  return r;
+}
+
+Json LibraryEntry::to_json() const {
+  Json j = Json::object();
+  j["accel_id"] = accel_id;
+  j["variant"] = to_string(variant);
+  j["prune_rate_pct"] = prune_rate_pct;
+  j["conf_threshold_pct"] = conf_threshold_pct;
+  j["accuracy"] = accuracy;
+  Json fr = Json::array();
+  for (double f : exit_fractions) fr.push_back(f);
+  j["exit_fractions"] = std::move(fr);
+  j["ips"] = ips;
+  j["latency_ms"] = latency_ms;
+  j["peak_power_w"] = peak_power_w;
+  j["energy_per_inf_j"] = energy_per_inf_j;
+  return j;
+}
+
+LibraryEntry LibraryEntry::from_json(const Json& j) {
+  LibraryEntry e;
+  e.accel_id = static_cast<int>(j.at("accel_id").as_int());
+  e.variant = model_variant_from_string(j.at("variant").as_string());
+  e.prune_rate_pct = static_cast<int>(j.at("prune_rate_pct").as_int());
+  e.conf_threshold_pct = static_cast<int>(j.at("conf_threshold_pct").as_int());
+  e.accuracy = j.at("accuracy").as_number();
+  for (const auto& f : j.at("exit_fractions").as_array()) {
+    e.exit_fractions.push_back(f.as_number());
+  }
+  e.ips = j.at("ips").as_number();
+  e.latency_ms = j.at("latency_ms").as_number();
+  e.peak_power_w = j.at("peak_power_w").as_number();
+  e.energy_per_inf_j = j.at("energy_per_inf_j").as_number();
+  return e;
+}
+
+const AcceleratorRecord& Library::accelerator(int id) const {
+  for (const auto& a : accelerators) {
+    if (a.id == id) return a;
+  }
+  throw Error("library has no accelerator with id " + std::to_string(id));
+}
+
+Json Library::to_json() const {
+  Json j = Json::object();
+  j["dataset"] = dataset;
+  j["reference_accuracy"] = reference_accuracy;
+  j["static_power_w"] = static_power_w;
+  Json accs = Json::array();
+  for (const auto& a : accelerators) accs.push_back(a.to_json());
+  j["accelerators"] = std::move(accs);
+  Json ents = Json::array();
+  for (const auto& e : entries) ents.push_back(e.to_json());
+  j["entries"] = std::move(ents);
+  return j;
+}
+
+Library Library::from_json(const Json& j) {
+  Library lib;
+  lib.dataset = j.at("dataset").as_string();
+  lib.reference_accuracy = j.at("reference_accuracy").as_number();
+  lib.static_power_w = j.at("static_power_w").as_number();
+  for (const auto& a : j.at("accelerators").as_array()) {
+    lib.accelerators.push_back(AcceleratorRecord::from_json(a));
+  }
+  for (const auto& e : j.at("entries").as_array()) {
+    lib.entries.push_back(LibraryEntry::from_json(e));
+  }
+  return lib;
+}
+
+void Library::save(const std::string& path) const {
+  write_file(path, to_json().dump(1));
+}
+
+Library Library::load(const std::string& path) {
+  return from_json(Json::parse(read_file(path)));
+}
+
+}  // namespace adapex

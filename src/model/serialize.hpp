@@ -1,0 +1,35 @@
+// Model serialization — the stand-in for the paper's ONNX export.
+//
+// AdaPEx's design-time flow exports each pruned early-exit model so the
+// CNN-compilation step can consume it (the paper hands ONNX files to FINN).
+// The format here is a single file:
+//
+//   magic "ADPX" | u32 version | u64 header_bytes | JSON header | f32 blob
+//
+// The JSON header describes the architecture (blocks and exit heads as
+// ordered layer descriptors with constructor arguments) plus the blob
+// layout; the blob carries every stateful tensor in declaration order —
+// conv/fc weights, batch-norm gamma/beta/running statistics, and activation
+// quantizer scales. load_model() rebuilds a BranchyModel that produces
+// bit-identical inference results.
+
+#pragma once
+
+#include <string>
+
+#include "nn/branchy.hpp"
+
+namespace adapex {
+
+/// Serializes the model to `path`. Throws on I/O failure.
+void save_model(const BranchyModel& model, const std::string& path);
+
+/// Loads a model previously written by save_model. Throws ParseError on a
+/// malformed file and Error on I/O failure.
+BranchyModel load_model(const std::string& path);
+
+/// In-memory round trip (exposed for tests and tooling).
+std::string serialize_model(const BranchyModel& model);
+BranchyModel deserialize_model(const std::string& bytes);
+
+}  // namespace adapex

@@ -1,0 +1,117 @@
+#include "model/walk.hpp"
+
+#include "tensor/ops.hpp"
+
+namespace adapex {
+
+namespace {
+
+/// Tracks activation geometry while walking a Sequential.
+struct WalkState {
+  int channels = 0;
+  int dim = 0;        ///< Feature-map side; 0 once flattened.
+  int features = 0;   ///< Valid once flattened.
+  bool flattened = false;
+};
+
+void walk_sequential(Sequential& seq, SiteLoc loc, int group,
+                     const std::string& prefix, WalkState& state,
+                     std::vector<LayerSite>& out) {
+  int conv_count = 0, fc_count = 0;
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    Layer& layer = seq.layer(i);
+    switch (layer.kind()) {
+      case LayerKind::kConv: {
+        auto& conv = static_cast<QuantConv2d&>(layer);
+        ADAPEX_CHECK(!state.flattened, "conv after flatten is unsupported");
+        ADAPEX_CHECK(conv.in_channels() == state.channels,
+                     "walk: conv input channels mismatch at " + prefix);
+        LayerSite site;
+        site.loc = loc;
+        site.group = group;
+        site.layer_index = static_cast<int>(i);
+        site.layer = &layer;
+        site.container = &seq;
+        site.is_conv = true;
+        site.in_channels = conv.in_channels();
+        site.out_channels = conv.out_channels();
+        site.kernel = conv.kernel();
+        site.in_dim = state.dim;
+        site.out_dim = ops::out_dim(state.dim, conv.kernel(), 1);
+        site.name = prefix + ".conv" + std::to_string(conv_count++);
+        out.push_back(site);
+        state.channels = conv.out_channels();
+        state.dim = site.out_dim;
+        break;
+      }
+      case LayerKind::kLinear: {
+        auto& fc = static_cast<QuantLinear&>(layer);
+        ADAPEX_CHECK(state.flattened, "linear before flatten is unsupported");
+        ADAPEX_CHECK(fc.in_features() == state.features,
+                     "walk: fc input features mismatch at " + prefix + " (" +
+                         std::to_string(fc.in_features()) + " vs " +
+                         std::to_string(state.features) + ")");
+        LayerSite site;
+        site.loc = loc;
+        site.group = group;
+        site.layer_index = static_cast<int>(i);
+        site.layer = &layer;
+        site.container = &seq;
+        site.is_conv = false;
+        site.in_channels = fc.in_features();
+        site.out_channels = fc.out_features();
+        site.kernel = 1;
+        site.in_dim = 1;
+        site.out_dim = 1;
+        site.name = prefix + ".fc" + std::to_string(fc_count++);
+        out.push_back(site);
+        state.features = fc.out_features();
+        break;
+      }
+      case LayerKind::kMaxPool: {
+        auto& pool = static_cast<MaxPool2d&>(layer);
+        ADAPEX_CHECK(!state.flattened, "pool after flatten is unsupported");
+        state.dim = ops::out_dim(state.dim, pool.kernel(), pool.stride());
+        break;
+      }
+      case LayerKind::kFlatten: {
+        ADAPEX_CHECK(!state.flattened, "double flatten");
+        state.features = state.channels * state.dim * state.dim;
+        state.flattened = true;
+        break;
+      }
+      case LayerKind::kBatchNorm:
+      case LayerKind::kActQuant:
+        break;  // Shape-preserving.
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<LayerSite> walk_compute_layers(BranchyModel& model,
+                                           int in_channels, int image_size) {
+  std::vector<LayerSite> sites;
+  WalkState state;
+  state.channels = in_channels;
+  state.dim = image_size;
+
+  // Geometry snapshot at each block's output, for exit heads.
+  std::vector<WalkState> block_out(model.num_blocks());
+  for (std::size_t b = 0; b < model.num_blocks(); ++b) {
+    walk_sequential(model.block(b), SiteLoc::kBackbone, static_cast<int>(b),
+                    "backbone.b" + std::to_string(b), state, sites);
+    block_out[b] = state;
+  }
+  for (std::size_t e = 0; e < model.num_exits(); ++e) {
+    const ExitBranch& exit = model.exit(e);
+    WalkState exit_state = block_out[static_cast<std::size_t>(exit.after_block)];
+    ADAPEX_CHECK(!exit_state.flattened,
+                 "exit attaches to a flattened activation");
+    walk_sequential(*model.exit(e).head, SiteLoc::kExit, static_cast<int>(e),
+                    "exit" + std::to_string(e), exit_state, sites);
+  }
+  return sites;
+}
+
+}  // namespace adapex

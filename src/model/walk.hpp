@@ -1,0 +1,52 @@
+// Structural walk over a BranchyModel.
+//
+// Produces the ordered list of compute layers (conv + fc — the layers FINN
+// maps to MVTU hardware units) together with their geometry: input/output
+// channels, spatial dimensions, and kernel size. The walk order is the
+// canonical layer order used everywhere an accelerator artifact is indexed
+// per-layer (folding configs, pruning reports, resource breakdowns):
+// backbone blocks first (in block order), then each exit head (in exit
+// order).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/branchy.hpp"
+
+namespace adapex {
+
+/// Where a compute layer lives.
+enum class SiteLoc { kBackbone, kExit };
+
+/// One conv/fc layer with resolved geometry.
+struct LayerSite {
+  SiteLoc loc = SiteLoc::kBackbone;
+  /// Block index for backbone sites; exit index for exit sites.
+  int group = 0;
+  /// Index of the layer inside its Sequential container.
+  int layer_index = 0;
+  Layer* layer = nullptr;
+  /// The Sequential that owns the layer (for surgery on adjacent layers).
+  Sequential* container = nullptr;
+  bool is_conv = false;
+
+  int in_channels = 0;   ///< Conv: channels. FC: input features.
+  int out_channels = 0;  ///< Conv: filters. FC: output features.
+  int kernel = 1;        ///< Conv kernel size (1 for FC).
+  int in_dim = 1;        ///< Input feature-map side (1 for FC).
+  int out_dim = 1;       ///< Output feature-map side (1 for FC).
+
+  /// Stable human-readable identifier, e.g. "backbone.b0.conv1",
+  /// "exit0.conv0", "backbone.b2.fc2".
+  std::string name;
+};
+
+/// Walks the model and returns all conv/fc sites with geometry, given the
+/// input image shape. Throws if the model's layer shapes are inconsistent
+/// with the declared input.
+std::vector<LayerSite> walk_compute_layers(BranchyModel& model, int in_channels,
+                                           int image_size);
+
+}  // namespace adapex

@@ -1,0 +1,68 @@
+// BranchyModel: a CNN backbone with attached early-exit heads.
+//
+// Mirrors the BranchyNet-style topology the paper trains: the backbone is a
+// sequence of blocks (the last block ends in the final classifier), and each
+// early exit is a head (CONV + MaxPool + FC + FC in the paper's
+// configuration) attached to the output of some backbone block. forward()
+// returns one logit tensor per exit, early exits first, final exit last —
+// the same ordering the joint loss and the runtime early-exit decision use.
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/layers.hpp"
+
+namespace adapex {
+
+/// An early-exit head attached after a backbone block.
+struct ExitBranch {
+  int after_block = 0;              ///< Index of the backbone block it taps.
+  std::unique_ptr<Sequential> head; ///< Exit layers ending in class logits.
+};
+
+/// Backbone + early exits. Owns all layers.
+class BranchyModel {
+ public:
+  BranchyModel() = default;
+  BranchyModel(BranchyModel&&) = default;
+  BranchyModel& operator=(BranchyModel&&) = default;
+
+  /// Appends a backbone block.
+  void add_block(std::unique_ptr<Sequential> block);
+
+  /// Attaches an exit head after backbone block `after_block`. Exits must
+  /// not attach after the final block (that is the final exit itself).
+  void add_exit(int after_block, std::unique_ptr<Sequential> head);
+
+  std::size_t num_blocks() const { return blocks_.size(); }
+  std::size_t num_exits() const { return exits_.size(); }
+  /// Number of forward outputs: early exits + the final exit.
+  std::size_t num_outputs() const { return exits_.size() + 1; }
+
+  Sequential& block(std::size_t i) { return *blocks_.at(i); }
+  const Sequential& block(std::size_t i) const { return *blocks_.at(i); }
+  ExitBranch& exit(std::size_t i) { return exits_.at(i); }
+  const ExitBranch& exit(std::size_t i) const { return exits_.at(i); }
+
+  /// Runs the model; returns logits per output (early exits in attachment
+  /// order, then the final exit).
+  std::vector<Tensor> forward(const Tensor& input, bool train);
+
+  /// Backpropagates per-output logit gradients (same order as forward()).
+  /// Parameter gradients accumulate into each layer's Param::grad.
+  void backward(const std::vector<Tensor>& grad_logits);
+
+  /// All trainable parameters (backbone + exits).
+  std::vector<Param*> params();
+
+  /// Deep copy.
+  BranchyModel clone() const;
+
+ private:
+  std::vector<std::unique_ptr<Sequential>> blocks_;
+  std::vector<ExitBranch> exits_;  // sorted by after_block ascending
+};
+
+}  // namespace adapex

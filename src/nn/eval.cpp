@@ -1,0 +1,80 @@
+#include "nn/eval.hpp"
+
+#include <algorithm>
+
+#include "tensor/ops.hpp"
+
+namespace adapex {
+
+ExitEvaluation evaluate_exits(BranchyModel& model, const Dataset& test,
+                              int batch_size) {
+  ADAPEX_CHECK(test.size() > 0, "empty test set");
+  ExitEvaluation eval;
+  eval.confidence.resize(static_cast<std::size_t>(test.size()));
+  eval.correct.resize(static_cast<std::size_t>(test.size()));
+
+  for (int start = 0; start < test.size(); start += batch_size) {
+    const int end = std::min(start + batch_size, test.size());
+    std::vector<int> idx(static_cast<std::size_t>(end - start));
+    for (int i = start; i < end; ++i) idx[static_cast<std::size_t>(i - start)] = i;
+    Tensor batch = test.batch_images(idx);
+    const std::vector<int> labels = test.batch_labels(idx);
+
+    auto logits = model.forward(batch, /*train=*/false);
+    for (std::size_t e = 0; e < logits.size(); ++e) {
+      const Tensor probs = ops::softmax(logits[e]);
+      for (int i = 0; i < end - start; ++i) {
+        int best = 0;
+        for (int k = 1; k < probs.dim(1); ++k) {
+          if (probs.at2(i, k) > probs.at2(i, best)) best = k;
+        }
+        auto& conf_row = eval.confidence[static_cast<std::size_t>(start + i)];
+        auto& corr_row = eval.correct[static_cast<std::size_t>(start + i)];
+        conf_row.resize(logits.size());
+        corr_row.resize(logits.size());
+        conf_row[e] = probs.at2(i, best);
+        corr_row[e] =
+            best == labels[static_cast<std::size_t>(i)] ? 1 : 0;
+      }
+    }
+  }
+  return eval;
+}
+
+EarlyExitStats apply_threshold(const ExitEvaluation& eval,
+                               double confidence_threshold) {
+  // Thresholds above 1.0 are allowed: no confidence can clear them, which
+  // disables early exits entirely (the no-early-exit operating point).
+  ADAPEX_CHECK(confidence_threshold >= 0.0,
+               "confidence threshold must be non-negative");
+  const std::size_t samples = eval.num_samples();
+  const std::size_t exits = eval.num_exits();
+  ADAPEX_CHECK(samples > 0 && exits > 0, "empty evaluation");
+
+  EarlyExitStats stats;
+  stats.exit_fraction.assign(exits, 0.0);
+  stats.per_exit_accuracy.assign(exits, 0.0);
+  std::size_t correct = 0;
+  for (std::size_t s = 0; s < samples; ++s) {
+    // First exit whose confidence clears the threshold; the final exit
+    // always accepts.
+    std::size_t taken = exits - 1;
+    for (std::size_t e = 0; e + 1 < exits; ++e) {
+      if (eval.confidence[s][e] >= confidence_threshold) {
+        taken = e;
+        break;
+      }
+    }
+    stats.exit_fraction[taken] += 1.0;
+    if (eval.correct[s][taken]) ++correct;
+    for (std::size_t e = 0; e < exits; ++e) {
+      stats.per_exit_accuracy[e] += eval.correct[s][e];
+    }
+  }
+  for (double& f : stats.exit_fraction) f /= static_cast<double>(samples);
+  for (double& a : stats.per_exit_accuracy) a /= static_cast<double>(samples);
+  stats.accuracy = static_cast<double>(correct) / static_cast<double>(samples);
+  return stats;
+}
+
+}  // namespace adapex

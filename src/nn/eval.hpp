@@ -1,0 +1,53 @@
+// Early-exit evaluation.
+//
+// Evaluating a confidence-threshold sweep is done in two stages so a test
+// set is run through the model exactly once per model:
+//   1. evaluate_exits() records, for every test sample and every exit, the
+//      softmax confidence (max class probability — the paper's confidence
+//      measure) and whether that exit's prediction is correct.
+//   2. apply_threshold() post-processes those records for any confidence
+//      threshold: a sample takes the first exit whose confidence clears the
+//      threshold (the final exit always accepts), exactly the runtime rule.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "nn/branchy.hpp"
+
+namespace adapex {
+
+/// Per-sample, per-exit evaluation records for one model on one test set.
+struct ExitEvaluation {
+  /// confidence[sample][exit]: max softmax probability at that exit.
+  std::vector<std::vector<float>> confidence;
+  /// correct[sample][exit]: 1 if that exit's argmax equals the label.
+  std::vector<std::vector<std::uint8_t>> correct;
+
+  std::size_t num_samples() const { return confidence.size(); }
+  std::size_t num_exits() const {
+    return confidence.empty() ? 0 : confidence.front().size();
+  }
+};
+
+/// Early-exit statistics for one (model, confidence threshold) pair.
+struct EarlyExitStats {
+  /// TOP-1 accuracy under the early-exit decision rule.
+  double accuracy = 0.0;
+  /// Fraction of samples accepted at each exit (sums to 1; final exit last).
+  std::vector<double> exit_fraction;
+  /// Per-exit TOP-1 accuracy ignoring the decision rule (all samples).
+  std::vector<double> per_exit_accuracy;
+};
+
+/// Runs the full test set through the model (eval mode) in batches.
+ExitEvaluation evaluate_exits(BranchyModel& model, const Dataset& test,
+                              int batch_size = 32);
+
+/// Applies the early-exit rule for `confidence_threshold` in [0, 1].
+EarlyExitStats apply_threshold(const ExitEvaluation& eval,
+                               double confidence_threshold);
+
+}  // namespace adapex

@@ -1,0 +1,107 @@
+#include "nn/metrics.hpp"
+
+#include <algorithm>
+
+#include "tensor/ops.hpp"
+
+namespace adapex {
+
+double ConfusionMatrix::accuracy() const {
+  long correct = 0, total = 0;
+  for (int t = 0; t < num_classes; ++t) {
+    for (int p = 0; p < num_classes; ++p) {
+      total += at(t, p);
+      if (t == p) correct += at(t, p);
+    }
+  }
+  return total > 0 ? static_cast<double>(correct) / total : 0.0;
+}
+
+std::vector<double> ConfusionMatrix::per_class_recall() const {
+  std::vector<double> recall(static_cast<std::size_t>(num_classes), 0.0);
+  for (int t = 0; t < num_classes; ++t) {
+    long row = 0;
+    for (int p = 0; p < num_classes; ++p) row += at(t, p);
+    if (row > 0) {
+      recall[static_cast<std::size_t>(t)] =
+          static_cast<double>(at(t, t)) / row;
+    }
+  }
+  return recall;
+}
+
+ConfusionMatrix confusion_matrix(BranchyModel& model, const Dataset& test,
+                                 std::size_t exit_index, int batch_size) {
+  ADAPEX_CHECK(exit_index < model.num_outputs(), "exit index out of range");
+  ConfusionMatrix cm;
+  cm.num_classes = test.num_classes();
+  cm.counts.assign(
+      static_cast<std::size_t>(cm.num_classes) * cm.num_classes, 0);
+  for (int start = 0; start < test.size(); start += batch_size) {
+    const int end = std::min(start + batch_size, test.size());
+    std::vector<int> idx;
+    for (int i = start; i < end; ++i) idx.push_back(i);
+    Tensor batch = test.batch_images(idx);
+    const auto labels = test.batch_labels(idx);
+    auto logits = model.forward(batch, false);
+    const Tensor& out = logits[exit_index];
+    for (int i = 0; i < end - start; ++i) {
+      int best = 0;
+      for (int k = 1; k < out.dim(1); ++k) {
+        if (out.at2(i, k) > out.at2(i, best)) best = k;
+      }
+      cm.counts[static_cast<std::size_t>(labels[static_cast<std::size_t>(i)]) *
+                    cm.num_classes +
+                best]++;
+    }
+  }
+  return cm;
+}
+
+CalibrationReport calibration_report(const ExitEvaluation& eval,
+                                     std::size_t exit_index, int num_bins) {
+  ADAPEX_CHECK(num_bins >= 2, "need at least two bins");
+  ADAPEX_CHECK(exit_index < eval.num_exits(), "exit index out of range");
+  CalibrationReport report;
+  report.bins.resize(static_cast<std::size_t>(num_bins));
+  for (int b = 0; b < num_bins; ++b) {
+    report.bins[static_cast<std::size_t>(b)].lo =
+        static_cast<double>(b) / num_bins;
+    report.bins[static_cast<std::size_t>(b)].hi =
+        static_cast<double>(b + 1) / num_bins;
+  }
+  double conf_correct = 0.0, conf_incorrect = 0.0;
+  long n_correct = 0, n_incorrect = 0;
+  for (std::size_t s = 0; s < eval.num_samples(); ++s) {
+    const double conf = eval.confidence[s][exit_index];
+    const bool correct = eval.correct[s][exit_index] != 0;
+    int b = std::min(static_cast<int>(conf * num_bins), num_bins - 1);
+    auto& bin = report.bins[static_cast<std::size_t>(b)];
+    bin.count++;
+    bin.mean_confidence += conf;
+    bin.accuracy += correct ? 1.0 : 0.0;
+    if (correct) {
+      conf_correct += conf;
+      ++n_correct;
+    } else {
+      conf_incorrect += conf;
+      ++n_incorrect;
+    }
+  }
+  const double total = static_cast<double>(eval.num_samples());
+  for (auto& bin : report.bins) {
+    if (bin.count > 0) {
+      bin.mean_confidence /= bin.count;
+      bin.accuracy /= bin.count;
+      report.ece +=
+          (bin.count / total) * std::abs(bin.accuracy - bin.mean_confidence);
+    }
+  }
+  report.mean_confidence_correct =
+      n_correct > 0 ? conf_correct / n_correct : 0.0;
+  report.mean_confidence_incorrect =
+      n_incorrect > 0 ? conf_incorrect / n_incorrect : 0.0;
+  return report;
+}
+
+}  // namespace adapex

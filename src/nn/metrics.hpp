@@ -1,0 +1,65 @@
+// Classification metrics beyond TOP-1: confusion matrix, per-class
+// accuracy, and confidence calibration.
+//
+// Calibration matters specifically for early exit: the runtime accepts an
+// exit when its softmax confidence clears a threshold, which is only a
+// sound decision rule if confidence tracks correctness. The expected
+// calibration error (ECE) and reliability bins quantify that per exit —
+// the analysis behind "using the softmax of the exit output vector is one
+// popular way to measure the exit confidence" (paper section II).
+
+#pragma once
+
+#include <vector>
+
+#include "nn/eval.hpp"
+
+namespace adapex {
+
+/// Square confusion matrix: rows = true class, cols = predicted.
+struct ConfusionMatrix {
+  int num_classes = 0;
+  std::vector<long> counts;  ///< [true * num_classes + predicted]
+
+  long at(int truth, int predicted) const {
+    return counts[static_cast<std::size_t>(truth) * num_classes + predicted];
+  }
+  double accuracy() const;
+  /// Per-class recall (diagonal / row sum); classes with no samples get 0.
+  std::vector<double> per_class_recall() const;
+};
+
+/// Computes the confusion matrix of one model output over a test set.
+/// `exit_index` selects the output (exits then final).
+ConfusionMatrix confusion_matrix(BranchyModel& model, const Dataset& test,
+                                 std::size_t exit_index, int batch_size = 32);
+
+/// One reliability bin: samples whose confidence fell in
+/// [lo, hi) with their mean confidence and empirical accuracy.
+struct ReliabilityBin {
+  double lo = 0.0;
+  double hi = 0.0;
+  long count = 0;
+  double mean_confidence = 0.0;
+  double accuracy = 0.0;
+};
+
+/// Calibration summary of one exit.
+struct CalibrationReport {
+  std::vector<ReliabilityBin> bins;
+  /// Expected calibration error: sum over bins of
+  /// (count/total) * |accuracy - mean confidence|.
+  double ece = 0.0;
+  /// Mean confidence on correct vs incorrect samples — the separation the
+  /// threshold rule exploits.
+  double mean_confidence_correct = 0.0;
+  double mean_confidence_incorrect = 0.0;
+};
+
+/// Builds the calibration report for exit `exit_index` from recorded
+/// per-sample confidences (see evaluate_exits).
+CalibrationReport calibration_report(const ExitEvaluation& eval,
+                                     std::size_t exit_index,
+                                     int num_bins = 10);
+
+}  // namespace adapex

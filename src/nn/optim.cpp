@@ -1,0 +1,34 @@
+#include "nn/optim.hpp"
+
+namespace adapex {
+
+Sgd::Sgd(std::vector<Param*> params, Options options)
+    : params_(std::move(params)), options_(options) {
+  velocity_.reserve(params_.size());
+  for (Param* p : params_) {
+    p->ensure_grad();
+    velocity_.emplace_back(p->value.shape());
+  }
+}
+
+void Sgd::step() {
+  const float lr = static_cast<float>(options_.lr);
+  const float mu = static_cast<float>(options_.momentum);
+  const float wd = static_cast<float>(options_.weight_decay);
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Param& p = *params_[i];
+    Tensor& v = velocity_[i];
+    for (std::size_t j = 0; j < p.value.numel(); ++j) {
+      const float g = p.grad[j] + wd * p.value[j];
+      v[j] = mu * v[j] + g;
+      p.value[j] -= lr * v[j];
+      p.grad[j] = 0.0f;
+    }
+  }
+}
+
+void Sgd::zero_grad() {
+  for (Param* p : params_) p->grad.zero();
+}
+
+}  // namespace adapex

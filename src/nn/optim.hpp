@@ -1,0 +1,40 @@
+// Stochastic gradient descent with momentum, weight decay, and step decay.
+//
+// Matches the paper's training recipe: learning rate 0.001 with decay 0.1,
+// SGD over the BranchyNet joint loss.
+
+#pragma once
+
+#include <vector>
+
+#include "nn/layers.hpp"
+
+namespace adapex {
+
+/// SGD with classical momentum and L2 weight decay.
+class Sgd {
+ public:
+  struct Options {
+    double lr = 1e-3;
+    double momentum = 0.9;
+    double weight_decay = 1e-4;
+  };
+
+  Sgd(std::vector<Param*> params, Options options);
+
+  /// Applies one update using the accumulated gradients, then zeroes them.
+  void step();
+
+  /// Zeroes all gradients without updating.
+  void zero_grad();
+
+  double lr() const { return options_.lr; }
+  void set_lr(double lr) { options_.lr = lr; }
+
+ private:
+  std::vector<Param*> params_;
+  std::vector<Tensor> velocity_;
+  Options options_;
+};
+
+}  // namespace adapex

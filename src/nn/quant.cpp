@@ -1,0 +1,112 @@
+#include "nn/quant.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace adapex {
+
+int signed_qmax(int bits) {
+  ADAPEX_CHECK(bits >= 2 && bits <= 8, "signed quantization needs 2..8 bits");
+  return (1 << (bits - 1)) - 1;
+}
+
+void quantize_weight_per_channel(const Tensor& weight, int bits, Tensor& out) {
+  out = Tensor(weight.shape());
+  if (bits <= 0) {
+    out = weight;
+    return;
+  }
+  const int qmax = signed_qmax(bits);
+  const int rows = weight.dim(0);
+  const std::size_t per_row = weight.numel() / static_cast<std::size_t>(rows);
+  for (int r = 0; r < rows; ++r) {
+    const float* src = weight.data() + static_cast<std::size_t>(r) * per_row;
+    float* dst = out.data() + static_cast<std::size_t>(r) * per_row;
+    if (bits == 2) {
+      // Ternary (TWN-style): threshold at 0.7 * mean|w|; the scale is the
+      // mean magnitude of the surviving weights. Far better conditioned for
+      // training than max-abs scaling, which zeroes ~60% of a Gaussian
+      // weight tensor and over-weights outliers.
+      double mean_abs = 0.0;
+      for (std::size_t i = 0; i < per_row; ++i) mean_abs += std::abs(src[i]);
+      mean_abs /= static_cast<double>(per_row);
+      const float delta = static_cast<float>(0.7 * mean_abs);
+      if (delta < 1e-12f) {
+        std::fill(dst, dst + per_row, 0.0f);
+        continue;
+      }
+      double alpha = 0.0;
+      std::size_t survivors = 0;
+      for (std::size_t i = 0; i < per_row; ++i) {
+        if (std::abs(src[i]) > delta) {
+          alpha += std::abs(src[i]);
+          ++survivors;
+        }
+      }
+      const float a = survivors > 0
+                          ? static_cast<float>(alpha / survivors)
+                          : 0.0f;
+      for (std::size_t i = 0; i < per_row; ++i) {
+        dst[i] = std::abs(src[i]) > delta ? (src[i] > 0 ? a : -a) : 0.0f;
+      }
+      continue;
+    }
+    float maxabs = 0.0f;
+    for (std::size_t i = 0; i < per_row; ++i) {
+      maxabs = std::max(maxabs, std::abs(src[i]));
+    }
+    if (maxabs < 1e-12f) {
+      std::fill(dst, dst + per_row, 0.0f);
+      continue;
+    }
+    const float scale = maxabs / static_cast<float>(qmax);
+    for (std::size_t i = 0; i < per_row; ++i) {
+      const float q = std::round(src[i] / scale);
+      dst[i] = scale * std::clamp(q, -static_cast<float>(qmax),
+                                  static_cast<float>(qmax));
+    }
+  }
+}
+
+Tensor ActQuantizer::forward(const Tensor& input, bool train) {
+  if (train || !initialized_) {
+    float batch_max = 0.0f;
+    for (std::size_t i = 0; i < input.numel(); ++i) {
+      batch_max = std::max(batch_max, input[i]);
+    }
+    if (batch_max > 1e-12f) {
+      constexpr float kMomentum = 0.1f;
+      scale_ = initialized_ ? (1.0f - kMomentum) * scale_ + kMomentum * batch_max
+                            : batch_max;
+      initialized_ = true;
+    }
+  }
+  Tensor out(input.shape());
+  const float s = std::max(scale_, 1e-12f);
+  if (bits_ <= 0) {
+    // Quantization disabled: plain ReLU.
+    for (std::size_t i = 0; i < input.numel(); ++i) {
+      out[i] = std::max(input[i], 0.0f);
+    }
+    return out;
+  }
+  const float levels = static_cast<float>((1 << bits_) - 1);
+  for (std::size_t i = 0; i < input.numel(); ++i) {
+    const float clamped = std::clamp(input[i], 0.0f, s);
+    out[i] = std::round(clamped / s * levels) / levels * s;
+  }
+  return out;
+}
+
+Tensor ActQuantizer::backward(const Tensor& input,
+                              const Tensor& grad_output) const {
+  Tensor grad(input.shape());
+  const float s = std::max(scale_, 1e-12f);
+  for (std::size_t i = 0; i < input.numel(); ++i) {
+    const bool inside = input[i] > 0.0f && (bits_ <= 0 || input[i] < s);
+    grad[i] = inside ? grad_output[i] : 0.0f;
+  }
+  return grad;
+}
+
+}  // namespace adapex

@@ -1,0 +1,59 @@
+// Fake quantization for quantization-aware training (QAT).
+//
+// Reproduces the Brevitas-style W2A2 scheme the paper trains CNV with:
+//  - Weights: per-output-channel symmetric uniform quantization to
+//    `bits` bits with a narrow range (for 2 bits: levels {-1, 0, +1} times a
+//    per-channel scale equal to the channel's max |w|). The backward pass is
+//    the straight-through estimator (STE): gradients flow to the latent
+//    float weights unchanged.
+//  - Activations: unsigned uniform quantization to `bits` bits after a
+//    ReLU-style clamp, with a per-layer scale tracked as an exponential
+//    moving average of the batch maximum during training and frozen at
+//    evaluation. STE passes gradients inside the clamp range only.
+
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace adapex {
+
+/// Number of quantization levels on each side for signed narrow-range
+/// quantization with `bits` bits (2 bits -> 1, i.e. levels {-1,0,1}).
+int signed_qmax(int bits);
+
+/// Quantizes `weight` ([F, ...] with per-row = per-output-channel scaling)
+/// in place into `out`. Returns nothing; out is resized to weight's shape.
+/// bits <= 0 disables quantization (float passthrough).
+void quantize_weight_per_channel(const Tensor& weight, int bits, Tensor& out);
+
+/// Activation quantizer with EMA-tracked scale.
+class ActQuantizer {
+ public:
+  explicit ActQuantizer(int bits) : bits_(bits) {}
+
+  int bits() const { return bits_; }
+  float scale() const { return scale_; }
+  /// Restores a scale captured from a trained quantizer (marks the EMA as
+  /// initialized so evaluation uses it as-is).
+  void set_scale(float s) {
+    scale_ = s;
+    initialized_ = true;
+  }
+
+  /// Forward: clamp to [0, scale] and quantize to `bits` unsigned levels.
+  /// In training mode the scale EMA is updated from the batch max first.
+  /// bits <= 0 disables quantization (plain ReLU behaviour retained by the
+  /// caller). Stores the pre-quantization input reference range needed by
+  /// backward (the caller keeps the input tensor).
+  Tensor forward(const Tensor& input, bool train);
+
+  /// Backward: STE within [0, scale].
+  Tensor backward(const Tensor& input, const Tensor& grad_output) const;
+
+ private:
+  int bits_;
+  float scale_ = 1.0f;
+  bool initialized_ = false;
+};
+
+}  // namespace adapex

@@ -1,0 +1,47 @@
+#include "pruning/sensitivity.hpp"
+
+#include "nn/eval.hpp"
+#include "pruning/pruning.hpp"
+
+namespace adapex {
+
+std::vector<SensitivityPoint> prune_sensitivity(
+    const BranchyModel& model, const Dataset& test,
+    const SensitivityOptions& opts) {
+  ADAPEX_CHECK(!opts.rates_pct.empty(), "no sensitivity rates configured");
+
+  // Enumerate conv sites on a scratch clone (the walk needs mutable access).
+  BranchyModel probe = model.clone();
+  const auto sites =
+      walk_compute_layers(probe, opts.in_channels, opts.image_size);
+  validate_folding(sites, opts.folding);
+
+  std::vector<SensitivityPoint> points;
+  for (const auto& site : sites) {
+    if (!site.is_conv) continue;
+    for (int rate : opts.rates_pct) {
+      BranchyModel pruned = model.clone();
+      PruneOptions popts;
+      popts.rate = rate / 100.0;
+      popts.prune_exits = true;  // allow probing exit layers too
+      popts.folding = opts.folding;
+      popts.in_channels = opts.in_channels;
+      popts.image_size = opts.image_size;
+      popts.only_layer = site.name;
+      const PruneReport report = prune_model(pruned, popts);
+
+      SensitivityPoint point;
+      point.layer = site.name;
+      point.rate_pct = rate;
+      for (const auto& l : report.layers) {
+        if (l.name == site.name) point.removed = l.removed;
+      }
+      ExitEvaluation eval = evaluate_exits(pruned, test);
+      point.accuracy = apply_threshold(eval, 2.0).accuracy;
+      points.push_back(point);
+    }
+  }
+  return points;
+}
+
+}  // namespace adapex

@@ -1,0 +1,45 @@
+// Per-layer pruning sensitivity analysis.
+//
+// The standard tool from the filter-pruning literature [Li et al., ICLR'17,
+// the paper's pruning reference]: prune each conv layer *independently* at a
+// sweep of rates, without retraining, and measure the accuracy drop. Layers
+// whose curves fall steeply are sensitive (prune them conservatively);
+// flat layers can be pruned aggressively. AdaPEx applies a uniform rate, so
+// this analysis explains *which* layers the dataflow constraints protect
+// and feeds the ablation benches.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "hls/folding.hpp"
+#include "nn/branchy.hpp"
+
+namespace adapex {
+
+/// Accuracy of one (layer, rate) probe.
+struct SensitivityPoint {
+  std::string layer;
+  int rate_pct = 0;
+  int removed = 0;
+  double accuracy = 0.0;  ///< Final-exit TOP-1 with only this layer pruned.
+};
+
+/// Options for the sweep.
+struct SensitivityOptions {
+  std::vector<int> rates_pct = {10, 25, 50, 75};
+  FoldingConfig folding;  ///< Constraints applied per probe.
+  int in_channels = 3;
+  int image_size = 32;
+};
+
+/// Runs the sweep: for every conv layer (backbone and exits) and rate,
+/// clones the model, prunes only that layer, and evaluates the final exit
+/// on `test`. The input model is not modified.
+std::vector<SensitivityPoint> prune_sensitivity(const BranchyModel& model,
+                                                const Dataset& test,
+                                                const SensitivityOptions& opts);
+
+}  // namespace adapex

@@ -1,0 +1,120 @@
+#include "runtime/manager.hpp"
+
+#include <algorithm>
+
+namespace adapex {
+
+const char* to_string(AdaptPolicy p) {
+  switch (p) {
+    case AdaptPolicy::kAdaPEx: return "AdaPEx";
+    case AdaptPolicy::kPrOnly: return "PR-Only";
+    case AdaptPolicy::kCtOnly: return "CT-Only";
+    case AdaptPolicy::kStaticFinn: return "FINN";
+  }
+  return "?";
+}
+
+RuntimeManager::RuntimeManager(const Library& library, RuntimePolicy policy)
+    : library_(&library), policy_(policy) {
+  ADAPEX_CHECK(!library.entries.empty(), "empty library");
+  for (std::size_t i = 0; i < library.entries.size(); ++i) {
+    const LibraryEntry& e = library.entries[i];
+    bool ok = false;
+    switch (policy.policy) {
+      case AdaptPolicy::kAdaPEx:
+        // The full co-optimized space: every early-exit operating point
+        // (both exit-pruning variants, all rates, all thresholds).
+        ok = e.variant != ModelVariant::kNoExit;
+        break;
+      case AdaptPolicy::kPrOnly:
+        ok = e.variant == ModelVariant::kNoExit;
+        break;
+      case AdaptPolicy::kCtOnly:
+        ok = e.variant == ModelVariant::kNotPrunedExits &&
+             e.prune_rate_pct == 0;
+        break;
+      case AdaptPolicy::kStaticFinn:
+        ok = e.variant == ModelVariant::kNoExit && e.prune_rate_pct == 0;
+        break;
+    }
+    if (ok) eligible_.push_back(static_cast<int>(i));
+  }
+  ADAPEX_CHECK(!eligible_.empty(),
+               std::string("library has no entries for policy ") +
+                   to_string(policy.policy));
+  // Start from the most accurate eligible point (low workload assumption).
+  select(0.0);
+}
+
+Decision RuntimeManager::select(double workload_ips) {
+  const double min_accuracy =
+      library_->reference_accuracy * (1.0 - policy_.max_accuracy_loss);
+
+  // Paper rule: among entries above the accuracy threshold with sufficient
+  // throughput, pick the most accurate (ties: least energy). If nothing
+  // sustains the workload, fall back to the fastest accuracy-OK entry
+  // (best effort); if nothing clears the accuracy bar at all, pick the most
+  // accurate entry regardless.
+  int best = -1;
+  bool best_feasible = false;
+  auto better = [&](const LibraryEntry& a, const LibraryEntry& b) {
+    if (a.accuracy != b.accuracy) return a.accuracy > b.accuracy;
+    return a.energy_per_inf_j < b.energy_per_inf_j;
+  };
+  for (int idx : eligible_) {
+    const LibraryEntry& e = library_->entries[static_cast<std::size_t>(idx)];
+    if (e.accuracy < min_accuracy) continue;
+    const bool feasible = e.ips >= workload_ips * policy_.ips_headroom;
+    if (best < 0) {
+      best = idx;
+      best_feasible = feasible;
+      continue;
+    }
+    const LibraryEntry& b = library_->entries[static_cast<std::size_t>(best)];
+    if (feasible && !best_feasible) {
+      best = idx;
+      best_feasible = true;
+    } else if (feasible == best_feasible) {
+      const bool prefer =
+          feasible ? better(e, b)
+                   // Best effort: maximize throughput, then accuracy.
+                   : (e.ips != b.ips ? e.ips > b.ips : better(e, b));
+      if (prefer) best = idx;
+    }
+  }
+  if (best < 0) {
+    // Nothing clears the accuracy bar: degrade gracefully to the most
+    // accurate eligible entry.
+    for (int idx : eligible_) {
+      if (best < 0 ||
+          better(library_->entries[static_cast<std::size_t>(idx)],
+                 library_->entries[static_cast<std::size_t>(best)])) {
+        best = idx;
+      }
+    }
+  }
+
+  Decision decision;
+  decision.entry_index = best;
+  const bool accel_changed =
+      current_index_ < 0 ||
+      library_->entries[static_cast<std::size_t>(best)].accel_id !=
+          library_->entries[static_cast<std::size_t>(current_index_)].accel_id;
+  decision.reconfigure = current_index_ >= 0 && accel_changed;
+  if (decision.reconfigure) {
+    decision.reconfig_ms =
+        library_
+            ->accelerator(
+                library_->entries[static_cast<std::size_t>(best)].accel_id)
+            .reconfig_ms;
+  }
+  current_index_ = best;
+  return decision;
+}
+
+const LibraryEntry& RuntimeManager::current() const {
+  ADAPEX_CHECK(current_index_ >= 0, "no operating point selected yet");
+  return library_->entries[static_cast<std::size_t>(current_index_)];
+}
+
+}  // namespace adapex

@@ -1,0 +1,74 @@
+// AdaPEx Runtime Manager (paper section IV-B).
+//
+// Runs alongside the FINN host code: whenever the workload monitor flags a
+// change, it searches the Library for the operating point — a (pruning
+// rate, confidence threshold) pair — that satisfies the user's accuracy
+// threshold with sufficient throughput for the incoming request rate.
+// Changing the confidence threshold is free; changing the pruning rate
+// switches accelerators and costs an FPGA reconfiguration.
+//
+// The baselines of section V are expressed as restrictions of the search
+// space: PR-Only sees only the no-exit models (adapts pruning only),
+// CT-Only sees only the unpruned early-exit model (adapts the threshold
+// only), and static FINN is pinned to the unpruned no-exit model.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "library/library.hpp"
+
+namespace adapex {
+
+/// Adaptation policies evaluated in the paper.
+enum class AdaptPolicy {
+  kAdaPEx,     ///< Full search: pruning rate x confidence threshold.
+  kPrOnly,     ///< Pruning rate only (single final exit).
+  kCtOnly,     ///< Confidence threshold only (unpruned early-exit model).
+  kStaticFinn, ///< No adaptation: original FINN accelerator.
+};
+
+const char* to_string(AdaptPolicy p);
+
+/// Runtime configuration.
+struct RuntimePolicy {
+  AdaptPolicy policy = AdaptPolicy::kAdaPEx;
+  /// Maximum tolerated accuracy loss relative to the library's reference
+  /// accuracy (paper: 10%).
+  double max_accuracy_loss = 0.10;
+  /// Throughput safety margin: an entry is feasible when its IPS is at
+  /// least `ips_headroom` times the measured workload, so the queue built
+  /// up during a reconfiguration can drain afterwards.
+  double ips_headroom = 1.10;
+};
+
+/// The manager's reaction to a workload sample.
+struct Decision {
+  int entry_index = -1;      ///< Into Library::entries.
+  bool reconfigure = false;  ///< Accelerator (bitstream) changed.
+  double reconfig_ms = 0.0;
+};
+
+/// Searches the library on workload changes and tracks the active point.
+class RuntimeManager {
+ public:
+  RuntimeManager(const Library& library, RuntimePolicy policy);
+
+  /// Re-evaluates the operating point for the measured workload (IPS).
+  Decision select(double workload_ips);
+
+  const LibraryEntry& current() const;
+  const Library& library() const { return *library_; }
+
+  /// Entry indices this policy may use (exposed for tests/benches).
+  const std::vector<int>& eligible() const { return eligible_; }
+
+ private:
+  const Library* library_;
+  RuntimePolicy policy_;
+  std::vector<int> eligible_;
+  int current_index_ = -1;
+};
+
+}  // namespace adapex

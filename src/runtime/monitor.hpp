@@ -1,0 +1,82 @@
+// Workload monitor — the "performance monitors added to the software in
+// charge of the incoming inferences" (paper section IV-B).
+//
+// Counts request arrivals and, at each sampling instant, reports the rate
+// over the elapsed window with optional exponential smoothing. The change
+// flag implements the paper's trigger semantics: the Runtime Manager
+// re-searches the Library only "whenever a change in the workload is
+// flagged", not on every sample — which is what keeps reconfiguration
+// counts low under sampling noise.
+
+#pragma once
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace adapex {
+
+/// Sliding-window arrival-rate estimator with change flagging.
+class WorkloadMonitor {
+ public:
+  struct Options {
+    /// EMA smoothing over window rates (1.0 = no smoothing).
+    double smoothing = 1.0;
+    /// Relative change vs the last flagged rate that triggers a flag.
+    double flag_threshold = 0.15;
+  };
+
+  WorkloadMonitor() : WorkloadMonitor(Options{}) {}
+
+  explicit WorkloadMonitor(Options options) : options_(options) {
+    ADAPEX_CHECK(options_.smoothing > 0.0 && options_.smoothing <= 1.0,
+                 "smoothing must be in (0, 1]");
+    ADAPEX_CHECK(options_.flag_threshold >= 0.0,
+                 "flag threshold must be non-negative");
+  }
+
+  /// Records one request arrival.
+  void on_arrival() { ++count_; }
+
+  /// Result of closing a sampling window.
+  struct Sample {
+    double rate_ips = 0.0;  ///< Smoothed arrival rate.
+    bool flagged = false;   ///< Change crossed the threshold.
+  };
+
+  /// Closes the window of length `window_s`, returning the rate estimate
+  /// and whether a workload change should be flagged to the manager.
+  Sample sample(double window_s) {
+    ADAPEX_CHECK(window_s > 0.0, "window must be positive");
+    const double raw = static_cast<double>(count_) / window_s;
+    count_ = 0;
+    smoothed_ = has_rate_
+                    ? (1.0 - options_.smoothing) * smoothed_ +
+                          options_.smoothing * raw
+                    : raw;
+    has_rate_ = true;
+
+    Sample s;
+    s.rate_ips = smoothed_;
+    if (!has_flagged_ ||
+        std::abs(smoothed_ - last_flagged_) >
+            options_.flag_threshold * (last_flagged_ > 1.0 ? last_flagged_ : 1.0)) {
+      s.flagged = true;
+      last_flagged_ = smoothed_;
+      has_flagged_ = true;
+    }
+    return s;
+  }
+
+  double last_flagged_rate() const { return last_flagged_; }
+
+ private:
+  Options options_;
+  long count_ = 0;
+  double smoothed_ = 0.0;
+  double last_flagged_ = 0.0;
+  bool has_rate_ = false;
+  bool has_flagged_ = false;
+};
+
+}  // namespace adapex

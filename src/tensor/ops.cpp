@@ -1,0 +1,327 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+namespace adapex::ops {
+
+void gemm_accumulate(const float* a, const float* b, float* c, int m, int k,
+                     int n) {
+  // i-k-j loop order: streams through B and C rows; good cache behaviour for
+  // the (small-M, large-N) shapes im2col produces.
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a + static_cast<std::size_t>(i) * k;
+    float* crow = c + static_cast<std::size_t>(i) * n;
+    for (int kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0f) continue;  // quantized weights are often exactly zero
+      const float* brow = b + static_cast<std::size_t>(kk) * n;
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void gemm_at_b_accumulate(const float* a, const float* b, float* c, int m,
+                          int k, int n) {
+  // C[M,N] += A^T B with A stored [K,M].
+  for (int kk = 0; kk < k; ++kk) {
+    const float* arow = a + static_cast<std::size_t>(kk) * m;
+    const float* brow = b + static_cast<std::size_t>(kk) * n;
+    for (int i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = c + static_cast<std::size_t>(i) * n;
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void gemm_a_bt_accumulate(const float* a, const float* b, float* c, int m,
+                          int k, int n) {
+  // C[M,N] += A B^T with B stored [N,K]: dot products of rows.
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a + static_cast<std::size_t>(i) * k;
+    float* crow = c + static_cast<std::size_t>(i) * n;
+    for (int j = 0; j < n; ++j) {
+      const float* brow = b + static_cast<std::size_t>(j) * k;
+      float acc = 0.0f;
+      for (int kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      crow[j] += acc;
+    }
+  }
+}
+
+int out_dim(int in, int kernel, int stride) {
+  ADAPEX_CHECK(kernel >= 1 && stride >= 1 && in >= kernel,
+               "invalid pooling/conv geometry");
+  return (in - kernel) / stride + 1;
+}
+
+void im2col(const float* img, int channels, int height, int width, int kernel,
+            float* col) {
+  const int oh = height - kernel + 1;
+  const int ow = width - kernel + 1;
+  const std::size_t patch = static_cast<std::size_t>(oh) * ow;
+  std::size_t row = 0;
+  for (int c = 0; c < channels; ++c) {
+    const float* plane = img + static_cast<std::size_t>(c) * height * width;
+    for (int ky = 0; ky < kernel; ++ky) {
+      for (int kx = 0; kx < kernel; ++kx) {
+        float* dst = col + row * patch;
+        for (int y = 0; y < oh; ++y) {
+          const float* src = plane + static_cast<std::size_t>(y + ky) * width + kx;
+          std::memcpy(dst + static_cast<std::size_t>(y) * ow, src,
+                      static_cast<std::size_t>(ow) * sizeof(float));
+        }
+        ++row;
+      }
+    }
+  }
+}
+
+void col2im_accumulate(const float* col, int channels, int height, int width,
+                       int kernel, float* img) {
+  const int oh = height - kernel + 1;
+  const int ow = width - kernel + 1;
+  const std::size_t patch = static_cast<std::size_t>(oh) * ow;
+  std::size_t row = 0;
+  for (int c = 0; c < channels; ++c) {
+    float* plane = img + static_cast<std::size_t>(c) * height * width;
+    for (int ky = 0; ky < kernel; ++ky) {
+      for (int kx = 0; kx < kernel; ++kx) {
+        const float* src = col + row * patch;
+        for (int y = 0; y < oh; ++y) {
+          float* dst = plane + static_cast<std::size_t>(y + ky) * width + kx;
+          const float* s = src + static_cast<std::size_t>(y) * ow;
+          for (int x = 0; x < ow; ++x) dst[x] += s[x];
+        }
+        ++row;
+      }
+    }
+  }
+}
+
+Tensor conv2d_forward(const Tensor& input, const Tensor& weight,
+                      const Tensor& bias, std::vector<float>& col_scratch) {
+  ADAPEX_CHECK(input.ndim() == 4, "conv2d input must be [N,C,H,W]");
+  ADAPEX_CHECK(weight.ndim() == 4, "conv2d weight must be [F,C,k,k]");
+  const int batch = input.dim(0), cin = input.dim(1), h = input.dim(2),
+            w = input.dim(3);
+  const int fout = weight.dim(0), k = weight.dim(2);
+  ADAPEX_CHECK(weight.dim(1) == cin, "conv2d channel mismatch: input has " +
+                                         std::to_string(cin) + " channels");
+  ADAPEX_CHECK(weight.dim(2) == weight.dim(3), "conv2d kernel must be square");
+  const int oh = out_dim(h, k, 1), ow = out_dim(w, k, 1);
+  const int kdim = cin * k * k;
+  const std::size_t patch = static_cast<std::size_t>(oh) * ow;
+  col_scratch.resize(static_cast<std::size_t>(kdim) * patch);
+
+  Tensor out({batch, fout, oh, ow});
+  for (int n = 0; n < batch; ++n) {
+    im2col(input.data() + static_cast<std::size_t>(n) * cin * h * w, cin, h, w,
+           k, col_scratch.data());
+    float* optr = out.data() + static_cast<std::size_t>(n) * fout * patch;
+    if (!bias.empty()) {
+      for (int f = 0; f < fout; ++f) {
+        std::fill(optr + static_cast<std::size_t>(f) * patch,
+                  optr + static_cast<std::size_t>(f + 1) * patch, bias[f]);
+      }
+    }
+    gemm_accumulate(weight.data(), col_scratch.data(), optr, fout, kdim,
+                    static_cast<int>(patch));
+  }
+  return out;
+}
+
+void conv2d_backward(const Tensor& input, const Tensor& weight,
+                     const Tensor& grad_output, Tensor& grad_input,
+                     Tensor& grad_weight, Tensor& grad_bias,
+                     std::vector<float>& col_scratch) {
+  const int batch = input.dim(0), cin = input.dim(1), h = input.dim(2),
+            w = input.dim(3);
+  const int fout = weight.dim(0), k = weight.dim(2);
+  const int oh = out_dim(h, k, 1), ow = out_dim(w, k, 1);
+  const int kdim = cin * k * k;
+  const std::size_t patch = static_cast<std::size_t>(oh) * ow;
+  col_scratch.resize(static_cast<std::size_t>(kdim) * patch);
+  std::vector<float> dcol(static_cast<std::size_t>(kdim) * patch);
+
+  grad_input = Tensor(input.shape());
+  for (int n = 0; n < batch; ++n) {
+    const float* img = input.data() + static_cast<std::size_t>(n) * cin * h * w;
+    const float* dout =
+        grad_output.data() + static_cast<std::size_t>(n) * fout * patch;
+    // dW += dOut * col^T
+    im2col(img, cin, h, w, k, col_scratch.data());
+    gemm_a_bt_accumulate(dout, col_scratch.data(), grad_weight.data(), fout,
+                         static_cast<int>(patch), kdim);
+    // dcol = W^T * dOut
+    std::fill(dcol.begin(), dcol.end(), 0.0f);
+    gemm_at_b_accumulate(weight.data(), dout, dcol.data(), kdim, fout,
+                         static_cast<int>(patch));
+    col2im_accumulate(dcol.data(), cin, h, w, k,
+                      grad_input.data() +
+                          static_cast<std::size_t>(n) * cin * h * w);
+    if (!grad_bias.empty()) {
+      for (int f = 0; f < fout; ++f) {
+        const float* drow = dout + static_cast<std::size_t>(f) * patch;
+        float acc = 0.0f;
+        for (std::size_t p = 0; p < patch; ++p) acc += drow[p];
+        grad_bias[static_cast<std::size_t>(f)] += acc;
+      }
+    }
+  }
+}
+
+Tensor linear_forward(const Tensor& input, const Tensor& weight,
+                      const Tensor& bias) {
+  ADAPEX_CHECK(input.ndim() == 2, "linear input must be [N,In]");
+  const int batch = input.dim(0), in = input.dim(1), out = weight.dim(0);
+  ADAPEX_CHECK(weight.dim(1) == in,
+               "linear weight expects " + std::to_string(weight.dim(1)) +
+                   " inputs, got " + std::to_string(in));
+  Tensor y({batch, out});
+  if (!bias.empty()) {
+    for (int n = 0; n < batch; ++n) {
+      for (int f = 0; f < out; ++f) y.at2(n, f) = bias[static_cast<std::size_t>(f)];
+    }
+  }
+  // y += x * W^T
+  gemm_a_bt_accumulate(input.data(), weight.data(), y.data(), batch, in, out);
+  return y;
+}
+
+void linear_backward(const Tensor& input, const Tensor& weight,
+                     const Tensor& grad_output, Tensor& grad_input,
+                     Tensor& grad_weight, Tensor& grad_bias) {
+  const int batch = input.dim(0), in = input.dim(1), out = weight.dim(0);
+  grad_input = Tensor(input.shape());
+  // dX = dY * W
+  gemm_accumulate(grad_output.data(), weight.data(), grad_input.data(), batch,
+                  out, in);
+  // dW += dY^T * X
+  gemm_at_b_accumulate(grad_output.data(), input.data(), grad_weight.data(),
+                       out, batch, in);
+  if (!grad_bias.empty()) {
+    for (int n = 0; n < batch; ++n) {
+      for (int f = 0; f < out; ++f) {
+        grad_bias[static_cast<std::size_t>(f)] += grad_output.at2(n, f);
+      }
+    }
+  }
+}
+
+Tensor maxpool_forward(const Tensor& input, int kernel, int stride,
+                       std::vector<int>& argmax) {
+  const int batch = input.dim(0), ch = input.dim(1), h = input.dim(2),
+            w = input.dim(3);
+  const int oh = out_dim(h, kernel, stride), ow = out_dim(w, kernel, stride);
+  Tensor out({batch, ch, oh, ow});
+  argmax.assign(out.numel(), 0);
+  std::size_t oi = 0;
+  for (int n = 0; n < batch; ++n) {
+    for (int c = 0; c < ch; ++c) {
+      const float* plane =
+          input.data() + (static_cast<std::size_t>(n) * ch + c) * h * w;
+      for (int y = 0; y < oh; ++y) {
+        for (int x = 0; x < ow; ++x) {
+          float best = -std::numeric_limits<float>::infinity();
+          int best_idx = 0;
+          for (int ky = 0; ky < kernel; ++ky) {
+            for (int kx = 0; kx < kernel; ++kx) {
+              const int iy = y * stride + ky, ix = x * stride + kx;
+              const int idx = iy * w + ix;
+              if (plane[idx] > best) {
+                best = plane[idx];
+                best_idx = idx;
+              }
+            }
+          }
+          out[oi] = best;
+          argmax[oi] = best_idx;
+          ++oi;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor maxpool_backward(const Tensor& input, const Tensor& grad_output,
+                        int kernel, int stride,
+                        const std::vector<int>& argmax) {
+  const int batch = input.dim(0), ch = input.dim(1), h = input.dim(2),
+            w = input.dim(3);
+  const int oh = out_dim(h, kernel, stride), ow = out_dim(w, kernel, stride);
+  ADAPEX_ASSERT(argmax.size() == grad_output.numel());
+  Tensor grad_input(input.shape());
+  std::size_t oi = 0;
+  for (int n = 0; n < batch; ++n) {
+    for (int c = 0; c < ch; ++c) {
+      float* plane =
+          grad_input.data() + (static_cast<std::size_t>(n) * ch + c) * h * w;
+      for (int i = 0; i < oh * ow; ++i, ++oi) {
+        plane[argmax[oi]] += grad_output[oi];
+      }
+    }
+  }
+  return grad_input;
+}
+
+Tensor relu_forward(const Tensor& input) {
+  Tensor out(input.shape());
+  for (std::size_t i = 0; i < input.numel(); ++i) {
+    out[i] = input[i] > 0.0f ? input[i] : 0.0f;
+  }
+  return out;
+}
+
+Tensor relu_backward(const Tensor& input, const Tensor& grad_output) {
+  Tensor grad(input.shape());
+  for (std::size_t i = 0; i < input.numel(); ++i) {
+    grad[i] = input[i] > 0.0f ? grad_output[i] : 0.0f;
+  }
+  return grad;
+}
+
+Tensor softmax(const Tensor& logits) {
+  ADAPEX_CHECK(logits.ndim() == 2, "softmax expects [N,K] logits");
+  const int batch = logits.dim(0), k = logits.dim(1);
+  Tensor out(logits.shape());
+  for (int n = 0; n < batch; ++n) {
+    float maxv = -std::numeric_limits<float>::infinity();
+    for (int j = 0; j < k; ++j) maxv = std::max(maxv, logits.at2(n, j));
+    double denom = 0.0;
+    for (int j = 0; j < k; ++j) {
+      const float e = std::exp(logits.at2(n, j) - maxv);
+      out.at2(n, j) = e;
+      denom += e;
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (int j = 0; j < k; ++j) out.at2(n, j) *= inv;
+  }
+  return out;
+}
+
+double cross_entropy(const Tensor& logits, const std::vector<int>& labels,
+                     Tensor& grad) {
+  const int batch = logits.dim(0), k = logits.dim(1);
+  ADAPEX_CHECK(static_cast<int>(labels.size()) == batch,
+               "labels size must equal batch size");
+  grad = softmax(logits);
+  double loss = 0.0;
+  const float invn = 1.0f / static_cast<float>(batch);
+  for (int n = 0; n < batch; ++n) {
+    const int y = labels[static_cast<std::size_t>(n)];
+    ADAPEX_CHECK(y >= 0 && y < k, "label out of range");
+    const float p = std::max(grad.at2(n, y), 1e-12f);
+    loss -= std::log(p);
+    grad.at2(n, y) -= 1.0f;
+  }
+  grad.scale_(invn);
+  return loss / batch;
+}
+
+}  // namespace adapex::ops

@@ -1,0 +1,85 @@
+// Numeric kernels: GEMM, convolution (im2col-based), pooling, batch
+// normalization, activations, softmax, and their backward passes.
+//
+// Forward/backward pairs implement exactly the math the nn layer graph needs
+// for quantization-aware training. All kernels are single-threaded and
+// deterministic; convolution is unpadded with stride 1 (the CNV topology the
+// paper evaluates uses only 3x3 valid convolutions).
+
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace adapex::ops {
+
+/// C[M,N] += A[M,K] * B[K,N]. C must be pre-sized; not zeroed here.
+void gemm_accumulate(const float* a, const float* b, float* c, int m, int k,
+                     int n);
+
+/// C[M,N] += A^T[M,K] * B[K,N] where A is stored [K,M].
+void gemm_at_b_accumulate(const float* a, const float* b, float* c, int m,
+                          int k, int n);
+
+/// C[M,N] += A[M,K] * B^T[K,N] where B is stored [N,K].
+void gemm_a_bt_accumulate(const float* a, const float* b, float* c, int m,
+                          int k, int n);
+
+/// Output spatial size of an unpadded convolution/pool: floor((in-k)/s)+1.
+int out_dim(int in, int kernel, int stride);
+
+/// im2col for one image: input [C,H,W] -> col [C*kh*kw, oh*ow], stride 1,
+/// no padding.
+void im2col(const float* img, int channels, int height, int width, int kernel,
+            float* col);
+
+/// col2im scatter-accumulate (the adjoint of im2col).
+void col2im_accumulate(const float* col, int channels, int height, int width,
+                       int kernel, float* img);
+
+/// Convolution forward. input [N,C,H,W], weight [F,C,k,k], bias [F] (may be
+/// empty), output [N,F,oh,ow]. `col_scratch` must hold C*k*k*oh*ow floats.
+Tensor conv2d_forward(const Tensor& input, const Tensor& weight,
+                      const Tensor& bias, std::vector<float>& col_scratch);
+
+/// Convolution backward: fills grad_input (same shape as input), accumulates
+/// into grad_weight/grad_bias. `col_scratch` as in conv2d_forward.
+void conv2d_backward(const Tensor& input, const Tensor& weight,
+                     const Tensor& grad_output, Tensor& grad_input,
+                     Tensor& grad_weight, Tensor& grad_bias,
+                     std::vector<float>& col_scratch);
+
+/// Linear forward: input [N,In], weight [Out,In], bias [Out] -> [N,Out].
+Tensor linear_forward(const Tensor& input, const Tensor& weight,
+                      const Tensor& bias);
+
+/// Linear backward.
+void linear_backward(const Tensor& input, const Tensor& weight,
+                     const Tensor& grad_output, Tensor& grad_input,
+                     Tensor& grad_weight, Tensor& grad_bias);
+
+/// Max-pool forward with kernel k and stride s; records argmax indices for
+/// the backward pass (flat index into the input's HxW plane).
+Tensor maxpool_forward(const Tensor& input, int kernel, int stride,
+                       std::vector<int>& argmax);
+
+/// Max-pool backward using recorded argmax indices.
+Tensor maxpool_backward(const Tensor& input, const Tensor& grad_output,
+                        int kernel, int stride, const std::vector<int>& argmax);
+
+/// ReLU forward (elementwise max(0, x)).
+Tensor relu_forward(const Tensor& input);
+
+/// ReLU backward: passes gradient where input > 0.
+Tensor relu_backward(const Tensor& input, const Tensor& grad_output);
+
+/// Row-wise softmax of logits [N,K].
+Tensor softmax(const Tensor& logits);
+
+/// Mean cross-entropy loss of logits [N,K] against labels[N]; also returns
+/// dLoss/dlogits in grad (same shape as logits), already divided by N.
+double cross_entropy(const Tensor& logits, const std::vector<int>& labels,
+                     Tensor& grad);
+
+}  // namespace adapex::ops

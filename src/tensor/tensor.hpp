@@ -1,0 +1,126 @@
+// Dense float tensor.
+//
+// The minimal tensor the adapex training/inference engine needs: contiguous
+// row-major float storage with an explicit shape. Layout conventions follow
+// the CNN stack: activations are [N, C, H, W] (batch, channels, height,
+// width), fully-connected activations are [N, F], conv weights are
+// [F, C, Kh, Kw], linear weights are [Out, In].
+
+#pragma once
+
+#include <cstddef>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace adapex {
+
+/// Contiguous row-major float tensor.
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Creates a zero-filled tensor of the given shape.
+  explicit Tensor(std::vector<int> shape) : shape_(std::move(shape)) {
+    data_.assign(numel_of(shape_), 0.0f);
+  }
+
+  /// Creates a tensor with explicit contents (size must match the shape).
+  Tensor(std::vector<int> shape, std::vector<float> data)
+      : shape_(std::move(shape)), data_(std::move(data)) {
+    ADAPEX_CHECK(data_.size() == numel_of(shape_),
+                 "tensor data size does not match shape");
+  }
+
+  static std::size_t numel_of(const std::vector<int>& shape) {
+    std::size_t n = 1;
+    for (int d : shape) {
+      ADAPEX_CHECK(d >= 0, "negative tensor dimension");
+      n *= static_cast<std::size_t>(d);
+    }
+    return n;
+  }
+
+  const std::vector<int>& shape() const { return shape_; }
+  int dim(int i) const { return shape_.at(static_cast<std::size_t>(i)); }
+  int ndim() const { return static_cast<int>(shape_.size()); }
+  std::size_t numel() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float& operator[](std::size_t i) { return data_[i]; }
+  float operator[](std::size_t i) const { return data_[i]; }
+
+  /// 4-D accessor for [N, C, H, W] tensors.
+  float& at4(int n, int c, int h, int w) {
+    return data_[idx4(n, c, h, w)];
+  }
+  float at4(int n, int c, int h, int w) const {
+    return data_[idx4(n, c, h, w)];
+  }
+
+  /// 2-D accessor for [N, F] tensors.
+  float& at2(int n, int f) {
+    return data_[static_cast<std::size_t>(n) * shape_[1] + f];
+  }
+  float at2(int n, int f) const {
+    return data_[static_cast<std::size_t>(n) * shape_[1] + f];
+  }
+
+  /// Returns a tensor with the same data reinterpreted under a new shape.
+  Tensor reshaped(std::vector<int> new_shape) const {
+    ADAPEX_CHECK(numel_of(new_shape) == numel(),
+                 "reshape must preserve element count");
+    return Tensor(std::move(new_shape), data_);
+  }
+
+  void fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+  void zero() { fill(0.0f); }
+
+  /// In-place elementwise accumulate: *this += other (shapes must match).
+  void add_(const Tensor& other) {
+    ADAPEX_CHECK(shape_ == other.shape_, "add_: shape mismatch");
+    for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  }
+
+  /// In-place scale: *this *= s.
+  void scale_(float s) {
+    for (float& v : data_) v *= s;
+  }
+
+  /// Fills with N(0, stddev) values from the given generator.
+  void randn_(Rng& rng, float stddev) {
+    for (float& v : data_) v = static_cast<float>(rng.normal(0.0, stddev));
+  }
+
+  /// Sum of all elements.
+  double sum() const {
+    return std::accumulate(data_.begin(), data_.end(), 0.0);
+  }
+
+  std::string shape_str() const {
+    std::string s = "[";
+    for (std::size_t i = 0; i < shape_.size(); ++i) {
+      if (i) s += ", ";
+      s += std::to_string(shape_[i]);
+    }
+    return s + "]";
+  }
+
+ private:
+  std::size_t idx4(int n, int c, int h, int w) const {
+    return ((static_cast<std::size_t>(n) * shape_[1] + c) * shape_[2] + h) *
+               shape_[3] +
+           w;
+  }
+
+  std::vector<int> shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace adapex

@@ -1,0 +1,213 @@
+// Tests for the analysis tooling: FIFO sizing, pruning sensitivity,
+// classification metrics / confidence calibration, and workload models.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/dataset.hpp"
+#include "edge/workload.hpp"
+#include "finn/fifo_sizing.hpp"
+#include "model/cnv.hpp"
+#include "nn/metrics.hpp"
+#include "nn/trainer.hpp"
+#include "pruning/sensitivity.hpp"
+
+namespace adapex {
+namespace {
+
+Accelerator tiny_accelerator(bool with_exits) {
+  Rng rng(31);
+  CnvConfig cfg = CnvConfig{}.scaled(0.125);
+  static BranchyModel model;  // keep alive; compile borrows layer pointers
+  model = with_exits
+              ? build_cnv_with_exits(cfg, paper_exits_config(false), rng)
+              : build_cnv(cfg, rng);
+  auto sites = walk_compute_layers(model, cfg.in_channels, cfg.image_size);
+  return compile_accelerator(model, styled_folding(sites), AcceleratorConfig{});
+}
+
+TEST(FifoSizing, EveryLinkGetsADepth) {
+  Accelerator acc = tiny_accelerator(true);
+  std::vector<int> exits(64);
+  for (std::size_t i = 0; i < exits.size(); ++i) exits[i] = static_cast<int>(i % 3);
+  auto reqs = size_fifos(acc, exits);
+  // One link per module with a predecessor.
+  std::size_t links = 0;
+  for (const auto& path : acc.paths) links += path.size() - 1;
+  // Paths share the backbone prefix, so count distinct consumers instead.
+  EXPECT_GE(reqs.size(), acc.modules.size() - acc.paths.size());
+  for (const auto& r : reqs) {
+    EXPECT_GE(r.depth_images, 1);
+    EXPECT_GT(r.depth_elements, 0);
+    EXPECT_GE(r.bram, 0);
+    EXPECT_FALSE(r.describe(acc).empty());
+  }
+}
+
+TEST(FifoSizing, SafetyMarginScalesDepth) {
+  Accelerator acc = tiny_accelerator(false);
+  std::vector<int> exits(32, 0);
+  auto base = size_fifos(acc, exits, 1.0);
+  auto padded = size_fifos(acc, exits, 2.0);
+  ASSERT_EQ(base.size(), padded.size());
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    EXPECT_GE(padded[i].depth_images, base[i].depth_images);
+  }
+  EXPECT_GE(total_fifo_bram(padded), total_fifo_bram(base));
+}
+
+TEST(FifoSizing, RejectsBadArguments) {
+  Accelerator acc = tiny_accelerator(false);
+  EXPECT_THROW(size_fifos(acc, {}), Error);
+  EXPECT_THROW(size_fifos(acc, {0}, 0.5), Error);
+}
+
+TEST(Sensitivity, ProbesEveryConvLayer) {
+  Rng rng(32);
+  CnvConfig cfg = CnvConfig{}.scaled(0.125);
+  BranchyModel model = build_cnv_with_exits(cfg, paper_exits_config(false), rng);
+  SyntheticSpec spec = cifar10_like_spec();
+  spec.train_size = 60;
+  spec.test_size = 40;
+  SyntheticDataset data = make_synthetic(spec);
+  TrainConfig tc;
+  tc.epochs = 1;
+  train_model(model, data.train, true, tc);
+
+  auto sites = walk_compute_layers(model, 3, 32);
+  SensitivityOptions opts;
+  opts.rates_pct = {25, 75};
+  opts.folding = styled_folding(sites);
+  auto points = prune_sensitivity(model, data.test, opts);
+
+  int conv_sites = 0;
+  for (const auto& s : sites) conv_sites += s.is_conv ? 1 : 0;
+  EXPECT_EQ(points.size(), static_cast<std::size_t>(conv_sites) * 2);
+  for (const auto& p : points) {
+    EXPECT_GE(p.accuracy, 0.0);
+    EXPECT_LE(p.accuracy, 1.0);
+    EXPECT_GE(p.removed, 0);
+  }
+  // The probed model is untouched: original still runs at full width.
+  auto post_sites = walk_compute_layers(model, 3, 32);
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    EXPECT_EQ(post_sites[i].out_channels, sites[i].out_channels);
+  }
+}
+
+TEST(Metrics, ConfusionMatrixConsistency) {
+  Rng rng(33);
+  CnvConfig cfg = CnvConfig{}.scaled(0.125);
+  BranchyModel model = build_cnv(cfg, rng);
+  SyntheticSpec spec = cifar10_like_spec();
+  spec.train_size = 60;
+  spec.test_size = 50;
+  SyntheticDataset data = make_synthetic(spec);
+  TrainConfig tc;
+  tc.epochs = 2;
+  train_model(model, data.train, true, tc);
+
+  ConfusionMatrix cm = confusion_matrix(model, data.test, 0);
+  long total = 0;
+  for (long c : cm.counts) total += c;
+  EXPECT_EQ(total, data.test.size());
+  // accuracy() agrees with apply_threshold on the final exit.
+  auto eval = evaluate_exits(model, data.test);
+  auto stats = apply_threshold(eval, 2.0);
+  EXPECT_NEAR(cm.accuracy(), stats.accuracy, 1e-9);
+  auto recall = cm.per_class_recall();
+  EXPECT_EQ(recall.size(), 10u);
+  for (double r : recall) {
+    EXPECT_GE(r, 0.0);
+    EXPECT_LE(r, 1.0);
+  }
+}
+
+TEST(Metrics, CalibrationReportStructure) {
+  // Synthetic records: perfectly calibrated at confidence 0.75.
+  ExitEvaluation eval;
+  Rng rng(34);
+  for (int i = 0; i < 400; ++i) {
+    const bool correct = rng.bernoulli(0.75);
+    eval.confidence.push_back({0.75f, 1.0f});
+    eval.correct.push_back({static_cast<std::uint8_t>(correct ? 1 : 0), 1});
+  }
+  auto report = calibration_report(eval, 0, 10);
+  EXPECT_EQ(report.bins.size(), 10u);
+  // All mass in bin [0.7, 0.8).
+  EXPECT_EQ(report.bins[7].count, 400);
+  EXPECT_NEAR(report.bins[7].mean_confidence, 0.75, 1e-6);
+  EXPECT_NEAR(report.bins[7].accuracy, 0.75, 0.05);
+  EXPECT_LT(report.ece, 0.05);  // well calibrated
+  EXPECT_THROW(calibration_report(eval, 5, 10), Error);
+  EXPECT_THROW(calibration_report(eval, 0, 1), Error);
+}
+
+TEST(Metrics, MiscalibratedModelHasHighEce) {
+  ExitEvaluation eval;
+  for (int i = 0; i < 200; ++i) {
+    // Confident but wrong half the time.
+    eval.confidence.push_back({0.95f});
+    eval.correct.push_back({static_cast<std::uint8_t>(i % 2)});
+  }
+  auto report = calibration_report(eval, 0);
+  EXPECT_GT(report.ece, 0.4);
+}
+
+TEST(Workload, PatternsProduceExpectedRates) {
+  WorkloadSpec spec;
+  spec.base_ips = 100;
+  spec.duration_s = 20;
+  spec.period_s = 5;
+  spec.deviation = 0.3;
+
+  spec.pattern = WorkloadPattern::kRandomDeviation;
+  WorkloadModel random_model(spec, 1);
+  for (int i = 0; i < 4; ++i) {
+    const double r = random_model.period_rate(i);
+    EXPECT_GE(r, 70.0 - 1e-9);
+    EXPECT_LE(r, 130.0 + 1e-9);
+  }
+
+  spec.pattern = WorkloadPattern::kFlashCrowd;
+  spec.spike_start_s = 10;
+  spec.spike_duration_s = 5;
+  spec.spike_multiplier = 3.0;
+  WorkloadModel crowd(spec, 1);
+  EXPECT_DOUBLE_EQ(crowd.period_rate(0), 100.0);
+  EXPECT_DOUBLE_EQ(crowd.period_rate(2), 300.0);  // [10, 15)
+  EXPECT_DOUBLE_EQ(crowd.period_rate(3), 100.0);
+
+  spec.pattern = WorkloadPattern::kTrace;
+  spec.trace = {1.0, 2.0};
+  WorkloadModel trace(spec, 1);
+  EXPECT_DOUBLE_EQ(trace.period_rate(0), 100.0);
+  EXPECT_DOUBLE_EQ(trace.period_rate(1), 200.0);
+  EXPECT_DOUBLE_EQ(trace.period_rate(2), 100.0);  // wraps
+}
+
+TEST(Workload, ArrivalCountTracksRate) {
+  WorkloadSpec spec;
+  spec.base_ips = 200;
+  spec.duration_s = 30;
+  spec.period_s = 5;
+  spec.deviation = 0.0;
+  spec.pattern = WorkloadPattern::kRandomDeviation;
+  WorkloadModel model(spec, 7);
+  auto arrivals = model.generate_arrivals();
+  EXPECT_NEAR(static_cast<double>(arrivals.size()), 6000.0, 300.0);
+  for (std::size_t i = 1; i < arrivals.size(); ++i) {
+    ASSERT_LE(arrivals[i - 1], arrivals[i]);  // sorted
+  }
+  EXPECT_LT(arrivals.back(), spec.duration_s);
+}
+
+TEST(Workload, TracePatternRequiresTrace) {
+  WorkloadSpec spec;
+  spec.pattern = WorkloadPattern::kTrace;
+  EXPECT_THROW(WorkloadModel(spec, 1), Error);
+}
+
+}  // namespace
+}  // namespace adapex

@@ -1,0 +1,181 @@
+// Tests for the synthetic datasets: determinism, shape, difficulty
+// semantics, augmentation, and the properties the early-exit mechanism
+// depends on (easy samples are genuinely lower-noise).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace adapex {
+namespace {
+
+SyntheticSpec small_spec() {
+  SyntheticSpec spec = cifar10_like_spec();
+  spec.train_size = 100;
+  spec.test_size = 50;
+  return spec;
+}
+
+TEST(Data, ShapesAndSizes) {
+  SyntheticDataset d = make_synthetic(small_spec());
+  EXPECT_EQ(d.train.size(), 100);
+  EXPECT_EQ(d.test.size(), 50);
+  EXPECT_EQ(d.train.channels(), 3);
+  EXPECT_EQ(d.train.height(), 32);
+  EXPECT_EQ(d.train.width(), 32);
+  EXPECT_EQ(d.train.image(0).shape(), (std::vector<int>{3, 32, 32}));
+}
+
+TEST(Data, DeterministicInSeed) {
+  SyntheticDataset a = make_synthetic(small_spec());
+  SyntheticDataset b = make_synthetic(small_spec());
+  for (int i = 0; i < a.train.size(); ++i) {
+    EXPECT_EQ(a.train.label(i), b.train.label(i));
+    for (std::size_t j = 0; j < a.train.image(i).numel(); ++j) {
+      ASSERT_FLOAT_EQ(a.train.image(i)[j], b.train.image(i)[j]);
+    }
+  }
+  SyntheticSpec other = small_spec();
+  other.seed += 1;
+  SyntheticDataset c = make_synthetic(other);
+  int diff = 0;
+  for (int i = 0; i < a.train.size(); ++i) {
+    if (a.train.label(i) != c.train.label(i)) ++diff;
+  }
+  EXPECT_GT(diff, 10);
+}
+
+TEST(Data, LabelsInRangeAndAllClassesPresent) {
+  SyntheticSpec spec = small_spec();
+  spec.train_size = 500;
+  SyntheticDataset d = make_synthetic(spec);
+  std::vector<int> counts(static_cast<std::size_t>(spec.num_classes), 0);
+  for (int i = 0; i < d.train.size(); ++i) {
+    ASSERT_GE(d.train.label(i), 0);
+    ASSERT_LT(d.train.label(i), spec.num_classes);
+    counts[static_cast<std::size_t>(d.train.label(i))]++;
+  }
+  for (int c = 0; c < spec.num_classes; ++c) {
+    EXPECT_GT(counts[static_cast<std::size_t>(c)], 0) << "class " << c;
+  }
+}
+
+TEST(Data, DifficultyCorrelatesWithNoise) {
+  // Easy and hard samples of the same class should differ in deviation
+  // from each other: estimate per-sample noise as the variance of
+  // differences from the class mean image.
+  SyntheticSpec spec = small_spec();
+  spec.train_size = 400;
+  SyntheticDataset d = make_synthetic(spec);
+  double easy_energy = 0.0, hard_energy = 0.0;
+  int easy_n = 0, hard_n = 0;
+  for (int i = 0; i < d.train.size(); ++i) {
+    // High-frequency energy as a noise proxy: mean squared difference of
+    // horizontally adjacent pixels.
+    const Tensor& img = d.train.image(i);
+    double hf = 0.0;
+    std::size_t cnt = 0;
+    for (int c = 0; c < 3; ++c) {
+      for (int y = 0; y < 32; ++y) {
+        for (int x = 0; x + 1 < 32; ++x) {
+          const float a = img[(static_cast<std::size_t>(c) * 32 + y) * 32 + x];
+          const float b = img[(static_cast<std::size_t>(c) * 32 + y) * 32 + x + 1];
+          hf += static_cast<double>(a - b) * (a - b);
+          ++cnt;
+        }
+      }
+    }
+    hf /= static_cast<double>(cnt);
+    if (d.train.difficulty(i) < 0.2) {
+      easy_energy += hf;
+      ++easy_n;
+    } else if (d.train.difficulty(i) > 0.7) {
+      hard_energy += hf;
+      ++hard_n;
+    }
+  }
+  ASSERT_GT(easy_n, 0);
+  ASSERT_GT(hard_n, 0);
+  EXPECT_LT(easy_energy / easy_n, hard_energy / hard_n);
+}
+
+TEST(Data, GtsrbSpecShape) {
+  SyntheticSpec spec = gtsrb_like_spec();
+  EXPECT_EQ(spec.num_classes, 43);
+  EXPECT_FALSE(spec.flip_symmetry);
+  spec.train_size = 86;
+  spec.test_size = 43;
+  SyntheticDataset d = make_synthetic(spec);
+  EXPECT_EQ(d.train.num_classes(), 43);
+}
+
+TEST(Data, BatchAssembly) {
+  SyntheticDataset d = make_synthetic(small_spec());
+  Tensor batch = d.train.batch_images({3, 7, 11});
+  EXPECT_EQ(batch.shape(), (std::vector<int>{3, 3, 32, 32}));
+  auto labels = d.train.batch_labels({3, 7, 11});
+  EXPECT_EQ(labels.size(), 3u);
+  EXPECT_EQ(labels[0], d.train.label(3));
+  // First image copied verbatim.
+  for (std::size_t j = 0; j < d.train.image(3).numel(); ++j) {
+    ASSERT_FLOAT_EQ(batch[j], d.train.image(3)[j]);
+  }
+}
+
+TEST(Data, AddRejectsBadShapeAndLabel) {
+  Dataset ds(10, 3, 32, 32);
+  Tensor wrong({3, 16, 16});
+  EXPECT_THROW(ds.add(std::move(wrong), 0, 0.0f), Error);
+  Tensor ok({3, 32, 32});
+  EXPECT_THROW(ds.add(std::move(ok), 10, 0.0f), Error);
+}
+
+TEST(Data, AugmentPreservesShapeAndIsBounded) {
+  SyntheticDataset d = make_synthetic(small_spec());
+  Rng rng(3);
+  const Tensor& img = d.train.image(0);
+  float maxabs = 0.0f;
+  for (std::size_t j = 0; j < img.numel(); ++j) {
+    maxabs = std::max(maxabs, std::abs(img[j]));
+  }
+  for (int i = 0; i < 20; ++i) {
+    Tensor aug = augment_image(img, true, rng);
+    EXPECT_EQ(aug.shape(), img.shape());
+    for (std::size_t j = 0; j < aug.numel(); ++j) {
+      ASSERT_LE(std::abs(aug[j]), maxabs + 1e-5f);  // shift/flip only
+    }
+  }
+}
+
+TEST(Data, AugmentFlipDisabledForSigns) {
+  // With flips disabled and zero shift possible, some augmentations equal
+  // the original; with flips enabled on an asymmetric image, roughly half
+  // should be mirrored. Verify the flag is honored by checking that
+  // disabled-flip augmentations never produce the mirror image.
+  Tensor img({1, 4, 4});
+  for (std::size_t i = 0; i < img.numel(); ++i) img[i] = static_cast<float>(i);
+  Tensor mirror({1, 4, 4});
+  for (int y = 0; y < 4; ++y) {
+    for (int x = 0; x < 4; ++x) {
+      mirror[static_cast<std::size_t>(y) * 4 + x] = img[static_cast<std::size_t>(y) * 4 + (3 - x)];
+    }
+  }
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    Tensor aug = augment_image(img, false, rng);
+    bool is_mirror = true;
+    for (std::size_t j = 0; j < aug.numel(); ++j) {
+      if (std::abs(aug[j] - mirror[j]) > 1e-6f) {
+        is_mirror = false;
+        break;
+      }
+    }
+    EXPECT_FALSE(is_mirror);
+  }
+}
+
+}  // namespace
+}  // namespace adapex

@@ -1,0 +1,266 @@
+// Tests for the HLS module cost models, the accelerator compiler, the
+// analytical performance model, and the event-driven pipeline simulator.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "finn/accelerator.hpp"
+#include "finn/pipeline_sim.hpp"
+#include "finn/reconfig.hpp"
+#include "model/cnv.hpp"
+#include "pruning/pruning.hpp"
+
+namespace adapex {
+namespace {
+
+MvtuGeometry conv_geom() {
+  MvtuGeometry g;
+  g.is_conv = true;
+  g.in_channels = 16;
+  g.out_channels = 32;
+  g.kernel = 3;
+  g.in_dim = 14;
+  g.out_dim = 12;
+  g.weight_bits = 2;
+  g.act_bits = 2;
+  return g;
+}
+
+TEST(HlsModules, MvtuCyclesFoldingScaling) {
+  auto g = conv_geom();
+  const long base = mvtu_cycles(g, 1, 1);
+  EXPECT_EQ(base, 12L * 12 * 9 * 16 * 32);
+  // Doubling PE halves cycles; doubling SIMD halves cycles.
+  EXPECT_EQ(mvtu_cycles(g, 2, 1), base / 2);
+  EXPECT_EQ(mvtu_cycles(g, 1, 2), base / 2);
+  EXPECT_EQ(mvtu_cycles(g, 4, 4), base / 16);
+}
+
+TEST(HlsModules, MvtuRejectsNonDividingFolds) {
+  auto g = conv_geom();
+  EXPECT_THROW(mvtu_cycles(g, 3, 1), Error);   // 32 % 3 != 0
+  EXPECT_THROW(mvtu_cycles(g, 1, 5), Error);   // 16 % 5 != 0
+}
+
+TEST(HlsModules, SwuNeverSlowerThanItsMvtu) {
+  auto g = conv_geom();
+  for (int pe : {1, 2, 4}) {
+    for (int simd : {1, 2, 4}) {
+      EXPECT_LE(swu_cycles(g, simd), mvtu_cycles(g, pe, simd)) << pe << "x" << simd;
+    }
+  }
+}
+
+TEST(HlsModules, ResourcesGrowWithFolding) {
+  auto g = conv_geom();
+  HlsCostModel cost;
+  const Resources r1 = mvtu_resources(g, 1, 1, cost);
+  const Resources r4 = mvtu_resources(g, 4, 4, cost);
+  EXPECT_GT(r4.lut, r1.lut);  // more parallel hardware
+  EXPECT_GT(r1.lut, 0);
+  EXPECT_GE(r1.bram, 0);
+}
+
+TEST(HlsModules, LowPrecisionUsesNoDsp) {
+  auto g = conv_geom();
+  HlsCostModel cost;
+  EXPECT_EQ(mvtu_resources(g, 2, 2, cost).dsp, 0);
+  g.weight_bits = 8;
+  EXPECT_GT(mvtu_resources(g, 2, 2, cost).dsp, 0);
+}
+
+struct CompiledFixture {
+  CnvConfig cfg;
+  BranchyModel model;
+  FoldingConfig folding;
+  Accelerator acc;
+
+  explicit CompiledFixture(bool with_exits, double scale = 0.25) {
+    Rng rng(17);
+    cfg = CnvConfig{}.scaled(scale);
+    model = with_exits
+                ? build_cnv_with_exits(cfg, paper_exits_config(false), rng)
+                : build_cnv(cfg, rng);
+    auto sites = walk_compute_layers(model, cfg.in_channels, cfg.image_size);
+    folding = styled_folding(sites);
+    AcceleratorConfig acfg;
+    acc = compile_accelerator(model, folding, acfg);
+  }
+};
+
+TEST(Accelerator, ModuleInventoryNoExits) {
+  CompiledFixture fx(false);
+  // 6 convs -> 6 SWU + 6 MVTU; 3 fcs -> 3 MVTU; 2 pools.
+  int swu = 0, mvtu = 0, pool = 0, branch = 0;
+  for (const auto& m : fx.acc.modules) {
+    switch (m.kind) {
+      case HlsModuleKind::kSwu: ++swu; break;
+      case HlsModuleKind::kMvtu: ++mvtu; break;
+      case HlsModuleKind::kPool: ++pool; break;
+      case HlsModuleKind::kBranch: ++branch; break;
+    }
+  }
+  EXPECT_EQ(swu, 6);
+  EXPECT_EQ(mvtu, 9);
+  EXPECT_EQ(pool, 2);
+  EXPECT_EQ(branch, 0);
+  ASSERT_EQ(fx.acc.paths.size(), 1u);
+  EXPECT_EQ(fx.acc.paths[0].size(), fx.acc.modules.size());
+  EXPECT_EQ(fx.acc.num_exits, 0);
+}
+
+TEST(Accelerator, ModuleInventoryWithExits) {
+  CompiledFixture fx(true);
+  int branch = 0;
+  for (const auto& m : fx.acc.modules) {
+    if (m.kind == HlsModuleKind::kBranch) ++branch;
+  }
+  EXPECT_EQ(branch, 2);
+  ASSERT_EQ(fx.acc.paths.size(), 3u);
+  // Exit paths are strictly shorter than the full path in cycle terms.
+  auto path_cycles = [&](const std::vector<int>& p) {
+    long c = 0;
+    for (int mi : p) c += fx.acc.modules[static_cast<std::size_t>(mi)].cycles;
+    return c;
+  };
+  EXPECT_LT(path_cycles(fx.acc.paths[0]), path_cycles(fx.acc.paths[2]));
+  EXPECT_LT(path_cycles(fx.acc.paths[1]), path_cycles(fx.acc.paths[2]));
+  EXPECT_GT(fx.acc.exit_overhead.lut, 0);
+  EXPECT_GT(fx.acc.exit_overhead.bram, 0);
+}
+
+TEST(Accelerator, ExitLevelsMonotoneAlongBackbone) {
+  CompiledFixture fx(true);
+  int prev_level = 0;
+  for (int mi : fx.acc.paths.back()) {
+    const auto& m = fx.acc.modules[static_cast<std::size_t>(mi)];
+    EXPECT_GE(m.exit_level, prev_level);
+    prev_level = m.exit_level;
+    EXPECT_EQ(m.exit_head, -1);
+  }
+  EXPECT_EQ(prev_level, 2);
+}
+
+TEST(Accelerator, PerfNoExitsMatchesBottleneck) {
+  CompiledFixture fx(false);
+  PowerModel power;
+  auto perf = estimate_performance(fx.acc, {1.0}, power);
+  long max_cycles = 0;
+  long sum_cycles = 0;
+  for (const auto& m : fx.acc.modules) {
+    max_cycles = std::max(max_cycles, m.cycles);
+    sum_cycles += m.cycles;
+  }
+  EXPECT_NEAR(perf.ips, fx.acc.fclk_hz() / static_cast<double>(max_cycles),
+              1e-6 * perf.ips);
+  EXPECT_NEAR(perf.latency_ms,
+              static_cast<double>(sum_cycles) / fx.acc.fclk_hz() * 1e3,
+              1e-9);
+  EXPECT_GT(perf.peak_power_w, power.static_w);
+  EXPECT_GT(perf.energy_per_inf_j, 0.0);
+}
+
+TEST(Accelerator, MoreEarlyExitsMeansMoreIpsLessEnergy) {
+  CompiledFixture fx(true);
+  PowerModel power;
+  auto all_final = estimate_performance(fx.acc, {0.0, 0.0, 1.0}, power);
+  auto half_early = estimate_performance(fx.acc, {0.5, 0.2, 0.3}, power);
+  auto all_early = estimate_performance(fx.acc, {1.0, 0.0, 0.0}, power);
+  EXPECT_GT(half_early.ips, all_final.ips);
+  // Throughput saturates once the pre-branch backbone becomes the
+  // bottleneck, so "all early" is >= "half early" but not necessarily >.
+  EXPECT_GE(all_early.ips, half_early.ips);
+  EXPECT_GT(all_early.ips, all_final.ips);
+  EXPECT_LT(half_early.latency_ms, all_final.latency_ms);
+  EXPECT_LT(half_early.energy_per_inf_j, all_final.energy_per_inf_j);
+}
+
+TEST(Accelerator, ExitFractionValidation) {
+  CompiledFixture fx(true);
+  PowerModel power;
+  EXPECT_THROW(estimate_performance(fx.acc, {1.0}, power), Error);
+  EXPECT_THROW(estimate_performance(fx.acc, {0.5, 0.2, 0.2}, power), Error);
+}
+
+TEST(Accelerator, PruningReducesResourcesAndRaisesIps) {
+  Rng rng(23);
+  CnvConfig cfg = CnvConfig{}.scaled(0.25);
+  BranchyModel model = build_cnv_with_exits(cfg, paper_exits_config(false), rng);
+  auto sites = walk_compute_layers(model, cfg.in_channels, cfg.image_size);
+  auto folding = default_folding(sites);
+  AcceleratorConfig acfg;
+  Accelerator full = compile_accelerator(model, folding, acfg);
+
+  PruneOptions opts;
+  opts.rate = 0.5;
+  opts.folding = folding;
+  prune_model(model, opts);
+  Accelerator pruned = compile_accelerator(model, folding, acfg);
+
+  // Pruning can move a shrunken layer's weights from BRAM into LUTRAM, so
+  // compare the aggregate memory footprint (1 BRAM18 ~ 18k bits ~ 288
+  // LUT-equivalents) rather than each resource in isolation.
+  auto footprint = [](const Resources& r) { return r.lut + 288 * r.bram; };
+  EXPECT_LT(footprint(pruned.total), footprint(full.total));
+  EXPECT_LE(pruned.total.bram, full.total.bram);
+  PowerModel power;
+  auto full_perf = estimate_performance(full, {0.0, 0.0, 1.0}, power);
+  auto pruned_perf = estimate_performance(pruned, {0.0, 0.0, 1.0}, power);
+  EXPECT_GT(pruned_perf.ips, full_perf.ips);
+  EXPECT_LT(pruned_perf.latency_ms, full_perf.latency_ms);
+}
+
+TEST(PipelineSim, SteadyStateMatchesAnalyticII) {
+  CompiledFixture fx(false);
+  // Long run: backpressure needs ~fifo-depth x pipeline-depth images to
+  // throttle the source before the steady window starts.
+  std::vector<int> exits(512, 0);  // single output model: exit index 0
+  auto sim = simulate_pipeline(fx.acc, exits);
+  long max_cycles = 0;
+  for (const auto& m : fx.acc.modules) max_cycles = std::max(max_cycles, m.cycles);
+  EXPECT_NEAR(sim.steady_ii_cycles, static_cast<double>(max_cycles),
+              0.01 * max_cycles);
+  // First-image latency equals the path sum (no contention).
+  long sum_cycles = 0;
+  for (const auto& m : fx.acc.modules) sum_cycles += m.cycles;
+  EXPECT_NEAR(sim.first_latency_cycles, static_cast<double>(sum_cycles), 1.0);
+}
+
+TEST(PipelineSim, EarlyExitsRaiseSimulatedThroughput) {
+  CompiledFixture fx(true);
+  std::vector<int> all_final(64, 2);
+  std::vector<int> mostly_early(64);
+  for (std::size_t i = 0; i < mostly_early.size(); ++i) {
+    mostly_early[i] = i % 4 == 0 ? 2 : 0;  // 75% take exit 0
+  }
+  auto slow = simulate_pipeline(fx.acc, all_final);
+  auto fast = simulate_pipeline(fx.acc, mostly_early);
+  EXPECT_LT(fast.steady_ii_cycles, slow.steady_ii_cycles);
+}
+
+TEST(PipelineSim, AgreesWithAnalyticUnderExitMix) {
+  CompiledFixture fx(true);
+  // 50% exit0, 25% exit1, 25% final, deterministically interleaved.
+  std::vector<int> exits(400);
+  for (std::size_t i = 0; i < exits.size(); ++i) {
+    exits[i] = (i % 4 == 0) ? 2 : (i % 4 == 2 ? 1 : 0);
+  }
+  auto sim = simulate_pipeline(fx.acc, exits);
+  PowerModel power;
+  auto perf = estimate_performance(fx.acc, {0.5, 0.25, 0.25}, power);
+  const double analytic_ii = fx.acc.fclk_hz() / perf.ips;
+  // Transaction-level sim and the occupancy model agree within 15%.
+  EXPECT_NEAR(sim.steady_ii_cycles, analytic_ii, 0.15 * analytic_ii);
+}
+
+TEST(Reconfig, TimeModel) {
+  CompiledFixture fx(false);
+  ReconfigModel model;
+  const double t = model.time_ms(fx.acc);
+  EXPECT_GE(t, model.base_ms);
+  EXPECT_LT(t, model.base_ms + 50.0);
+}
+
+}  // namespace
+}  // namespace adapex

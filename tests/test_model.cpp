@@ -1,0 +1,211 @@
+// Tests for the CNV builder, exit configurations, model serialization
+// (ONNX-export stand-in), and the FINN streamlining transformation with its
+// integer-threshold inference path.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "data/dataset.hpp"
+#include "finn/streamline.hpp"
+#include "model/cnv.hpp"
+#include "model/serialize.hpp"
+#include "nn/eval.hpp"
+#include "nn/trainer.hpp"
+
+namespace adapex {
+namespace {
+
+TEST(Cnv, ScaledWidths) {
+  CnvConfig cfg = CnvConfig{}.scaled(0.25);
+  EXPECT_EQ(cfg.conv_channels,
+            (std::vector<int>{16, 16, 32, 32, 64, 64}));
+  EXPECT_EQ(cfg.fc_features, (std::vector<int>{128, 128}));
+  // Widths stay multiples of 4 and never drop below 4.
+  CnvConfig tiny = CnvConfig{}.scaled(0.01);
+  for (int c : tiny.conv_channels) EXPECT_EQ(c, 4);
+  EXPECT_THROW(CnvConfig{}.scaled(0.0), Error);
+}
+
+TEST(Cnv, BlockGeometry) {
+  CnvConfig cfg = CnvConfig{}.scaled(0.25);
+  EXPECT_EQ(cnv_block_out_dims(cfg), (std::vector<int>{14, 5, 1}));
+  EXPECT_EQ(cnv_block_out_channels(cfg), (std::vector<int>{16, 32, 64}));
+}
+
+TEST(Cnv, ForwardShapesAllExitOps) {
+  Rng rng(1);
+  CnvConfig cfg = CnvConfig{}.scaled(0.125);
+  for (ExitOps ops : {ExitOps::kConvPoolFc, ExitOps::kPoolFc, ExitOps::kFc}) {
+    ExitsConfig exits;
+    exits.exits = {ExitSpec{0, ops}, ExitSpec{1, ops}};
+    BranchyModel model = build_cnv_with_exits(cfg, exits, rng);
+    Tensor x({2, 3, 32, 32});
+    x.randn_(rng, 1.0f);
+    auto outs = model.forward(x, false);
+    ASSERT_EQ(outs.size(), 3u) << to_string(ops);
+    for (const auto& o : outs) {
+      EXPECT_EQ(o.shape(), (std::vector<int>{2, cfg.num_classes}));
+    }
+  }
+}
+
+TEST(Cnv, ExitsConfigJsonRoundTrip) {
+  ExitsConfig cfg = paper_exits_config(true);
+  Json j = cfg.to_json();
+  ExitsConfig back = ExitsConfig::from_json(Json::parse(j.dump()));
+  ASSERT_EQ(back.exits.size(), 2u);
+  EXPECT_EQ(back.exits[0].after_block, 0);
+  EXPECT_EQ(back.exits[1].after_block, 1);
+  EXPECT_EQ(back.exits[0].ops, ExitOps::kConvPoolFc);
+  EXPECT_TRUE(back.prune_exits);
+  EXPECT_THROW(exit_ops_from_string("nope"), ConfigError);
+}
+
+TEST(Cnv, InvalidExitPlacementRejected) {
+  Rng rng(2);
+  CnvConfig cfg = CnvConfig{}.scaled(0.125);
+  ExitsConfig exits;
+  exits.exits = {ExitSpec{2, ExitOps::kFc}};  // after the final block
+  EXPECT_THROW(build_cnv_with_exits(cfg, exits, rng), Error);
+}
+
+TEST(Serialize, RoundTripPreservesInference) {
+  Rng rng(3);
+  CnvConfig cfg = CnvConfig{}.scaled(0.125);
+  BranchyModel model = build_cnv_with_exits(cfg, paper_exits_config(false), rng);
+  // Give batchnorm/actquant non-trivial state via a short training step.
+  SyntheticSpec spec = cifar10_like_spec();
+  spec.train_size = 40;
+  spec.test_size = 10;
+  SyntheticDataset data = make_synthetic(spec);
+  TrainConfig tc;
+  tc.epochs = 1;
+  tc.batch_size = 8;
+  train_model(model, data.train, true, tc);
+
+  const std::string bytes = serialize_model(model);
+  BranchyModel loaded = deserialize_model(bytes);
+
+  Tensor x = data.test.batch_images({0, 1, 2, 3});
+  auto a = model.forward(x, false);
+  auto b = loaded.forward(x, false);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t e = 0; e < a.size(); ++e) {
+    ASSERT_EQ(a[e].shape(), b[e].shape());
+    for (std::size_t i = 0; i < a[e].numel(); ++i) {
+      ASSERT_FLOAT_EQ(a[e][i], b[e][i]) << "exit " << e << " elem " << i;
+    }
+  }
+}
+
+TEST(Serialize, FileRoundTrip) {
+  Rng rng(4);
+  CnvConfig cfg = CnvConfig{}.scaled(0.125);
+  BranchyModel model = build_cnv(cfg, rng);
+  const std::string path = "/tmp/adapex_test_model.adpx";
+  save_model(model, path);
+  BranchyModel loaded = load_model(path);
+  EXPECT_EQ(loaded.num_blocks(), model.num_blocks());
+  EXPECT_EQ(loaded.num_exits(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, RejectsCorruptedInput) {
+  Rng rng(5);
+  CnvConfig cfg = CnvConfig{}.scaled(0.125);
+  BranchyModel model = build_cnv(cfg, rng);
+  std::string bytes = serialize_model(model);
+  // Bad magic.
+  std::string bad = bytes;
+  bad[0] = 'X';
+  EXPECT_THROW(deserialize_model(bad), ParseError);
+  // Truncated blob.
+  EXPECT_THROW(deserialize_model(bytes.substr(0, bytes.size() - 17)), Error);
+  // Too short entirely.
+  EXPECT_THROW(deserialize_model("AD"), Error);
+}
+
+TEST(Streamline, IntegerInferenceMatchesFloatModel) {
+  Rng rng(6);
+  CnvConfig cfg = CnvConfig{}.scaled(0.125);
+  BranchyModel model = build_cnv_with_exits(cfg, paper_exits_config(false), rng);
+  SyntheticSpec spec = cifar10_like_spec();
+  spec.train_size = 80;
+  spec.test_size = 40;
+  SyntheticDataset data = make_synthetic(spec);
+  TrainConfig tc;
+  tc.epochs = 2;
+  tc.batch_size = 16;
+  tc.lr = 5e-3;
+  train_model(model, data.train, true, tc);
+
+  StreamlinedModel sm = streamline(model, 3, 32);
+  std::vector<int> idx;
+  for (int i = 0; i < data.test.size(); ++i) idx.push_back(i);
+  Tensor x = data.test.batch_images(idx);
+  auto fl = model.forward(x, false);
+  auto iq = run_streamlined(sm, x);
+  ASSERT_EQ(fl.size(), iq.size());
+
+  // The integer-threshold path must agree with the float path: identical
+  // predictions on (nearly) all samples and closely matching logits. Tiny
+  // disagreements can only come from float-vs-double boundary rounding.
+  for (std::size_t e = 0; e < fl.size(); ++e) {
+    ASSERT_EQ(fl[e].shape(), iq[e].shape());
+    int pred_mismatch = 0;
+    double max_diff = 0.0;
+    for (int n = 0; n < fl[e].dim(0); ++n) {
+      int fa = 0, ia = 0;
+      for (int k = 0; k < fl[e].dim(1); ++k) {
+        max_diff = std::max(
+            max_diff, std::abs(static_cast<double>(fl[e].at2(n, k)) -
+                               iq[e].at2(n, k)));
+        if (fl[e].at2(n, k) > fl[e].at2(n, fa)) fa = k;
+        if (iq[e].at2(n, k) > iq[e].at2(n, ia)) ia = k;
+      }
+      if (fa != ia) ++pred_mismatch;
+    }
+    EXPECT_LE(pred_mismatch, 1) << "exit " << e;
+    EXPECT_LT(max_diff, 0.05) << "exit " << e;
+  }
+}
+
+TEST(Streamline, ThresholdCountMatchesActivationBits) {
+  Rng rng(7);
+  CnvConfig cfg = CnvConfig{}.scaled(0.125);
+  BranchyModel model = build_cnv(cfg, rng);
+  StreamlinedModel sm = streamline(model, 3, 32);
+  ASSERT_EQ(sm.blocks.size(), 3u);
+  int mvtu_with_thresholds = 0, raw_output = 0;
+  for (const auto& block : sm.blocks) {
+    for (const auto& op : block) {
+      if (op.kind != StreamlinedOp::Kind::kMvtu) continue;
+      if (op.levels > 0) {
+        ++mvtu_with_thresholds;
+        EXPECT_EQ(op.levels, 3);  // 2-bit activations: levels 0..3
+        EXPECT_EQ(op.thresholds.size(),
+                  static_cast<std::size_t>(op.out_channels));
+        for (const auto& tch : op.thresholds) EXPECT_EQ(tch.size(), 3u);
+      } else {
+        ++raw_output;
+        EXPECT_EQ(op.out_scale.size(),
+                  static_cast<std::size_t>(op.out_channels));
+      }
+    }
+  }
+  EXPECT_EQ(mvtu_with_thresholds, 8);  // 6 convs + 2 hidden fcs
+  EXPECT_EQ(raw_output, 1);            // final classifier
+}
+
+TEST(Streamline, RejectsNonTernaryWeights) {
+  Rng rng(8);
+  CnvConfig cfg = CnvConfig{}.scaled(0.125);
+  cfg.weight_bits = 4;
+  BranchyModel model = build_cnv(cfg, rng);
+  EXPECT_THROW(streamline(model, 3, 32), ConfigError);
+}
+
+}  // namespace
+}  // namespace adapex

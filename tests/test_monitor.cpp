@@ -1,0 +1,63 @@
+// Tests for the workload monitor (rate estimation + change flagging).
+
+#include <gtest/gtest.h>
+
+#include "runtime/monitor.hpp"
+
+namespace adapex {
+namespace {
+
+TEST(Monitor, RateEstimation) {
+  WorkloadMonitor monitor;
+  for (int i = 0; i < 150; ++i) monitor.on_arrival();
+  auto s = monitor.sample(0.5);
+  EXPECT_DOUBLE_EQ(s.rate_ips, 300.0);
+  EXPECT_TRUE(s.flagged);  // first sample always flags
+}
+
+TEST(Monitor, FlagOnlyOnSignificantChange) {
+  WorkloadMonitor monitor(WorkloadMonitor::Options{1.0, 0.15});
+  auto feed = [&](int arrivals) {
+    for (int i = 0; i < arrivals; ++i) monitor.on_arrival();
+    return monitor.sample(1.0);
+  };
+  EXPECT_TRUE(feed(100).flagged);   // baseline
+  EXPECT_FALSE(feed(108).flagged);  // +8%: below threshold
+  EXPECT_FALSE(feed(93).flagged);   // -7% vs flagged 100
+  EXPECT_TRUE(feed(130).flagged);   // +30%
+  EXPECT_DOUBLE_EQ(monitor.last_flagged_rate(), 130.0);
+  EXPECT_FALSE(feed(120).flagged);  // -8% vs 130
+  EXPECT_TRUE(feed(90).flagged);    // -31% vs 130
+}
+
+TEST(Monitor, SmoothingDampsSpikes) {
+  WorkloadMonitor monitor(WorkloadMonitor::Options{0.5, 0.15});
+  for (int i = 0; i < 100; ++i) monitor.on_arrival();
+  auto s1 = monitor.sample(1.0);
+  EXPECT_DOUBLE_EQ(s1.rate_ips, 100.0);  // first sample seeds the EMA
+  for (int i = 0; i < 200; ++i) monitor.on_arrival();
+  auto s2 = monitor.sample(1.0);
+  EXPECT_DOUBLE_EQ(s2.rate_ips, 150.0);  // halfway to 200
+}
+
+TEST(Monitor, ZeroTrafficWindows) {
+  WorkloadMonitor monitor;
+  auto s1 = monitor.sample(1.0);
+  EXPECT_DOUBLE_EQ(s1.rate_ips, 0.0);
+  EXPECT_TRUE(s1.flagged);
+  auto s2 = monitor.sample(1.0);
+  EXPECT_FALSE(s2.flagged);  // still zero: no change
+  for (int i = 0; i < 10; ++i) monitor.on_arrival();
+  EXPECT_TRUE(monitor.sample(1.0).flagged);  // traffic appeared
+}
+
+TEST(Monitor, ValidatesOptions) {
+  EXPECT_THROW(WorkloadMonitor(WorkloadMonitor::Options{0.0, 0.1}), Error);
+  EXPECT_THROW(WorkloadMonitor(WorkloadMonitor::Options{1.5, 0.1}), Error);
+  EXPECT_THROW(WorkloadMonitor(WorkloadMonitor::Options{1.0, -0.1}), Error);
+  WorkloadMonitor ok;
+  EXPECT_THROW(ok.sample(0.0), Error);
+}
+
+}  // namespace
+}  // namespace adapex

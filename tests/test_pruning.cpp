@@ -1,0 +1,260 @@
+// Tests for the model walk, folding configuration, and dataflow-aware
+// pruning, including property-style sweeps over pruning rates and folds.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hls/folding.hpp"
+#include "model/cnv.hpp"
+#include "model/walk.hpp"
+#include "pruning/pruning.hpp"
+
+namespace adapex {
+namespace {
+
+CnvConfig tiny_cfg() {
+  CnvConfig cfg = CnvConfig{}.scaled(0.25);  // 16,16,32,32,64,64; fc 128
+  return cfg;
+}
+
+TEST(Walk, CnvBackboneLayerList) {
+  Rng rng(1);
+  CnvConfig cfg = tiny_cfg();
+  BranchyModel model = build_cnv(cfg, rng);
+  auto sites = walk_compute_layers(model, cfg.in_channels, cfg.image_size);
+  // 6 convs + 3 fcs.
+  ASSERT_EQ(sites.size(), 9u);
+  EXPECT_EQ(sites[0].name, "backbone.b0.conv0");
+  EXPECT_TRUE(sites[0].is_conv);
+  EXPECT_EQ(sites[0].in_channels, 3);
+  EXPECT_EQ(sites[0].in_dim, 32);
+  EXPECT_EQ(sites[0].out_dim, 30);
+  EXPECT_EQ(sites[5].out_dim, 1);  // last conv produces 1x1
+  EXPECT_EQ(sites[6].name, "backbone.b2.fc0");
+  EXPECT_FALSE(sites[6].is_conv);
+  EXPECT_EQ(sites[6].in_channels, cfg.conv_channels[5]);  // 1x1 flatten
+  EXPECT_EQ(sites[8].out_channels, cfg.num_classes);
+}
+
+TEST(Walk, ExitsAppendAfterBackbone) {
+  Rng rng(1);
+  CnvConfig cfg = tiny_cfg();
+  BranchyModel model = build_cnv_with_exits(cfg, paper_exits_config(false), rng);
+  auto sites = walk_compute_layers(model, cfg.in_channels, cfg.image_size);
+  // 9 backbone + 2 exits x (conv + 2 fc).
+  ASSERT_EQ(sites.size(), 15u);
+  EXPECT_EQ(sites[9].name, "exit0.conv0");
+  EXPECT_EQ(sites[9].in_dim, 14);   // block 0 output
+  EXPECT_EQ(sites[12].name, "exit1.conv0");
+  EXPECT_EQ(sites[12].in_dim, 5);   // block 1 output
+  // Exit fc input: channels * pooled-dim^2.
+  EXPECT_EQ(sites[10].in_channels % sites[9].out_channels, 0);
+}
+
+TEST(Folding, LargestDivisor) {
+  EXPECT_EQ(largest_divisor_at_most(64, 4), 4);
+  EXPECT_EQ(largest_divisor_at_most(3, 4), 3);
+  EXPECT_EQ(largest_divisor_at_most(7, 4), 1);
+  EXPECT_EQ(largest_divisor_at_most(12, 5), 4);
+  EXPECT_THROW(largest_divisor_at_most(0, 4), Error);
+}
+
+TEST(Folding, DefaultFoldingValidates) {
+  Rng rng(2);
+  CnvConfig cfg = tiny_cfg();
+  BranchyModel model = build_cnv_with_exits(cfg, paper_exits_config(false), rng);
+  auto sites = walk_compute_layers(model, cfg.in_channels, cfg.image_size);
+  auto folding = default_folding(sites);
+  EXPECT_NO_THROW(validate_folding(sites, folding));
+}
+
+TEST(Folding, JsonRoundTrip) {
+  Rng rng(2);
+  CnvConfig cfg = tiny_cfg();
+  BranchyModel model = build_cnv(cfg, rng);
+  auto sites = walk_compute_layers(model, cfg.in_channels, cfg.image_size);
+  auto folding = default_folding(sites, 8, 8);
+  Json j = folding.to_json(sites);
+  auto parsed = FoldingConfig::from_json(Json::parse(j.dump()), sites);
+  ASSERT_EQ(parsed.folds.size(), folding.folds.size());
+  for (std::size_t i = 0; i < folding.folds.size(); ++i) {
+    EXPECT_EQ(parsed.folds[i].pe, folding.folds[i].pe);
+    EXPECT_EQ(parsed.folds[i].simd, folding.folds[i].simd);
+  }
+}
+
+TEST(Folding, InvalidPeRejected) {
+  Rng rng(2);
+  CnvConfig cfg = tiny_cfg();
+  BranchyModel model = build_cnv(cfg, rng);
+  auto sites = walk_compute_layers(model, cfg.in_channels, cfg.image_size);
+  auto folding = default_folding(sites);
+  folding.folds[0].pe = 5;  // 16 % 5 != 0
+  EXPECT_THROW(validate_folding(sites, folding), ConfigError);
+}
+
+TEST(Pruning, L1RankingPicksSmallestFilters) {
+  Rng rng(3);
+  QuantConv2d conv(2, 4, 3, 0, rng);
+  // Overwrite weights: filter f has magnitude f+1 everywhere.
+  Tensor w({4, 2, 3, 3});
+  for (int f = 0; f < 4; ++f) {
+    for (int i = 0; i < 18; ++i) {
+      w[static_cast<std::size_t>(f) * 18 + i] = static_cast<float>(f + 1);
+    }
+  }
+  conv.set_weight(std::move(w));
+  auto norms = filter_l1_norms(conv);
+  EXPECT_FLOAT_EQ(norms[0], 18.0f);
+  EXPECT_FLOAT_EQ(norms[3], 72.0f);
+  auto lowest = lowest_l1_filters(conv, 2);
+  ASSERT_EQ(lowest.size(), 2u);
+  EXPECT_EQ(lowest[0], 0);
+  EXPECT_EQ(lowest[1], 1);
+}
+
+TEST(Pruning, ZeroRateIsIdentity) {
+  Rng rng(4);
+  CnvConfig cfg = tiny_cfg();
+  BranchyModel model = build_cnv_with_exits(cfg, paper_exits_config(false), rng);
+  auto sites = walk_compute_layers(model, cfg.in_channels, cfg.image_size);
+  PruneOptions opts;
+  opts.rate = 0.0;
+  opts.folding = default_folding(sites);
+  auto report = prune_model(model, opts);
+  EXPECT_DOUBLE_EQ(report.achieved_rate, 0.0);
+  for (const auto& l : report.layers) EXPECT_EQ(l.removed, 0);
+}
+
+TEST(Pruning, PrunedModelStillRuns) {
+  Rng rng(5);
+  CnvConfig cfg = tiny_cfg();
+  BranchyModel model = build_cnv_with_exits(cfg, paper_exits_config(false), rng);
+  auto sites = walk_compute_layers(model, cfg.in_channels, cfg.image_size);
+  PruneOptions opts;
+  opts.rate = 0.5;
+  opts.folding = default_folding(sites);
+  auto report = prune_model(model, opts);
+  EXPECT_GT(report.achieved_rate, 0.2);
+  Tensor x({2, 3, 32, 32});
+  x.randn_(rng, 1.0f);
+  auto outs = model.forward(x, false);
+  ASSERT_EQ(outs.size(), 3u);
+  for (const auto& o : outs) {
+    EXPECT_EQ(o.shape(), (std::vector<int>{2, cfg.num_classes}));
+    for (std::size_t i = 0; i < o.numel(); ++i) {
+      EXPECT_TRUE(std::isfinite(o[i]));
+    }
+  }
+}
+
+TEST(Pruning, ExitsUntouchedWhenFlagOff) {
+  Rng rng(6);
+  CnvConfig cfg = tiny_cfg();
+  BranchyModel model = build_cnv_with_exits(cfg, paper_exits_config(false), rng);
+  auto sites = walk_compute_layers(model, cfg.in_channels, cfg.image_size);
+  PruneOptions opts;
+  opts.rate = 0.5;
+  opts.prune_exits = false;
+  opts.folding = default_folding(sites);
+  auto report = prune_model(model, opts);
+  for (const auto& l : report.layers) {
+    EXPECT_TRUE(l.name.rfind("exit", 0) != 0) << l.name;
+  }
+  // Exit conv filter counts unchanged.
+  auto pruned_sites = walk_compute_layers(model, cfg.in_channels, cfg.image_size);
+  for (const auto& s : pruned_sites) {
+    if (s.loc == SiteLoc::kExit && s.is_conv) {
+      EXPECT_EQ(s.out_channels, cnv_block_out_channels(cfg)[static_cast<std::size_t>(
+                                    model.exit(static_cast<std::size_t>(s.group))
+                                        .after_block)]);
+    }
+  }
+}
+
+TEST(Pruning, ExitsPrunedWhenFlagOn) {
+  Rng rng(7);
+  CnvConfig cfg = tiny_cfg();
+  BranchyModel model = build_cnv_with_exits(cfg, paper_exits_config(true), rng);
+  auto sites = walk_compute_layers(model, cfg.in_channels, cfg.image_size);
+  PruneOptions opts;
+  opts.rate = 0.5;
+  opts.prune_exits = true;
+  opts.folding = default_folding(sites);
+  auto report = prune_model(model, opts);
+  bool pruned_an_exit = false;
+  for (const auto& l : report.layers) {
+    if (l.name.rfind("exit", 0) == 0 && l.removed > 0) pruned_an_exit = true;
+  }
+  EXPECT_TRUE(pruned_an_exit);
+  Tensor x({1, 3, 32, 32});
+  x.randn_(rng, 1.0f);
+  EXPECT_NO_THROW(model.forward(x, false));
+}
+
+TEST(Pruning, RateOutOfRangeThrows) {
+  Rng rng(8);
+  CnvConfig cfg = tiny_cfg();
+  BranchyModel model = build_cnv(cfg, rng);
+  PruneOptions opts;
+  opts.rate = 1.0;
+  auto sites = walk_compute_layers(model, cfg.in_channels, cfg.image_size);
+  opts.folding = default_folding(sites);
+  EXPECT_THROW(prune_model(model, opts), Error);
+}
+
+// Property sweep: for every pruning rate and several fold caps, the pruned
+// model must keep the user folding valid and still execute — the central
+// dataflow-aware-pruning guarantee.
+class PruningSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(PruningSweep, FoldingStaysValidAndModelRuns) {
+  const int rate_pct = std::get<0>(GetParam());
+  const int cap = std::get<1>(GetParam());
+  Rng rng(100 + static_cast<std::uint64_t>(rate_pct) * 7 +
+          static_cast<std::uint64_t>(cap));
+  CnvConfig cfg = tiny_cfg();
+  BranchyModel model = build_cnv_with_exits(cfg, paper_exits_config(true), rng);
+  auto sites = walk_compute_layers(model, cfg.in_channels, cfg.image_size);
+  PruneOptions opts;
+  opts.rate = rate_pct / 100.0;
+  opts.prune_exits = (rate_pct % 10) == 5;  // exercise both paths
+  opts.folding = default_folding(sites, cap, cap);
+  // prune_model internally re-validates folding post-surgery; a throw here
+  // fails the test.
+  auto report = prune_model(model, opts);
+  EXPECT_LE(report.achieved_rate, opts.rate + 1e-9);
+  Tensor x({1, 3, 32, 32});
+  x.randn_(rng, 1.0f);
+  auto outs = model.forward(x, false);
+  EXPECT_EQ(outs.size(), 3u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RatesAndCaps, PruningSweep,
+    ::testing::Combine(::testing::Values(0, 5, 15, 25, 35, 45, 55, 65, 75, 85),
+                       ::testing::Values(2, 4, 8)));
+
+// Paper constraint, stated directly: remaining channels divisible by PE and
+// by each consumer's SIMD.
+TEST(Pruning, RemainingChannelsSatisfyPaperConstraints) {
+  Rng rng(9);
+  CnvConfig cfg = tiny_cfg();
+  BranchyModel model = build_cnv_with_exits(cfg, paper_exits_config(false), rng);
+  auto sites = walk_compute_layers(model, cfg.in_channels, cfg.image_size);
+  auto folding = default_folding(sites);
+  PruneOptions opts;
+  opts.rate = 0.6;
+  opts.folding = folding;
+  prune_model(model, opts);
+  auto pruned = walk_compute_layers(model, cfg.in_channels, cfg.image_size);
+  ASSERT_EQ(pruned.size(), sites.size());
+  for (std::size_t i = 0; i < pruned.size(); ++i) {
+    EXPECT_EQ(pruned[i].out_channels % folding.folds[i].pe, 0) << pruned[i].name;
+    EXPECT_EQ(pruned[i].in_channels % folding.folds[i].simd, 0) << pruned[i].name;
+  }
+}
+
+}  // namespace
+}  // namespace adapex
