@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_00_generate_libraries.dir/bench_00_generate_libraries.cpp.o"
+  "CMakeFiles/bench_00_generate_libraries.dir/bench_00_generate_libraries.cpp.o.d"
+  "bench_00_generate_libraries"
+  "bench_00_generate_libraries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_00_generate_libraries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

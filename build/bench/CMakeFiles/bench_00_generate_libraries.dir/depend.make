@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_00_generate_libraries.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_folding.dir/bench_ablation_folding.cpp.o"
+  "CMakeFiles/bench_ablation_folding.dir/bench_ablation_folding.cpp.o.d"
+  "bench_ablation_folding"
+  "bench_ablation_folding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_folding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_pruned_exits.dir/bench_fig5_pruned_exits.cpp.o"
+  "CMakeFiles/bench_fig5_pruned_exits.dir/bench_fig5_pruned_exits.cpp.o.d"
+  "bench_fig5_pruned_exits"
+  "bench_fig5_pruned_exits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_pruned_exits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

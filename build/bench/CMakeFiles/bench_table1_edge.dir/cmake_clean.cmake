@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_edge.dir/bench_table1_edge.cpp.o"
+  "CMakeFiles/bench_table1_edge.dir/bench_table1_edge.cpp.o.d"
+  "bench_table1_edge"
+  "bench_table1_edge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

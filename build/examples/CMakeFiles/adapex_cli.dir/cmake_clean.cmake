@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adapex_cli.dir/adapex_cli.cpp.o"
+  "CMakeFiles/adapex_cli.dir/adapex_cli.cpp.o.d"
+  "adapex_cli"
+  "adapex_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adapex_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

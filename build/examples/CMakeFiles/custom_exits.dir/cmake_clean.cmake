@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_exits.dir/custom_exits.cpp.o"
+  "CMakeFiles/custom_exits.dir/custom_exits.cpp.o.d"
+  "custom_exits"
+  "custom_exits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_exits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

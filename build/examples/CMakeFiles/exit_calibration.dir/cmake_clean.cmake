@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exit_calibration.dir/exit_calibration.cpp.o"
+  "CMakeFiles/exit_calibration.dir/exit_calibration.cpp.o.d"
+  "exit_calibration"
+  "exit_calibration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exit_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

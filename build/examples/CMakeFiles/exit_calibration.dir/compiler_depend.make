@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exit_calibration.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for exit_calibration.
+# This may be replaced when dependencies are built.

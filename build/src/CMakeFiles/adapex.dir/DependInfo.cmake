@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/json.cpp" "src/CMakeFiles/adapex.dir/common/json.cpp.o" "gcc" "src/CMakeFiles/adapex.dir/common/json.cpp.o.d"
+  "/root/repo/src/common/table.cpp" "src/CMakeFiles/adapex.dir/common/table.cpp.o" "gcc" "src/CMakeFiles/adapex.dir/common/table.cpp.o.d"
+  "/root/repo/src/core/scale.cpp" "src/CMakeFiles/adapex.dir/core/scale.cpp.o" "gcc" "src/CMakeFiles/adapex.dir/core/scale.cpp.o.d"
+  "/root/repo/src/data/dataset.cpp" "src/CMakeFiles/adapex.dir/data/dataset.cpp.o" "gcc" "src/CMakeFiles/adapex.dir/data/dataset.cpp.o.d"
+  "/root/repo/src/edge/simulation.cpp" "src/CMakeFiles/adapex.dir/edge/simulation.cpp.o" "gcc" "src/CMakeFiles/adapex.dir/edge/simulation.cpp.o.d"
+  "/root/repo/src/edge/workload.cpp" "src/CMakeFiles/adapex.dir/edge/workload.cpp.o" "gcc" "src/CMakeFiles/adapex.dir/edge/workload.cpp.o.d"
+  "/root/repo/src/finn/accelerator.cpp" "src/CMakeFiles/adapex.dir/finn/accelerator.cpp.o" "gcc" "src/CMakeFiles/adapex.dir/finn/accelerator.cpp.o.d"
+  "/root/repo/src/finn/fifo_sizing.cpp" "src/CMakeFiles/adapex.dir/finn/fifo_sizing.cpp.o" "gcc" "src/CMakeFiles/adapex.dir/finn/fifo_sizing.cpp.o.d"
+  "/root/repo/src/finn/pipeline_sim.cpp" "src/CMakeFiles/adapex.dir/finn/pipeline_sim.cpp.o" "gcc" "src/CMakeFiles/adapex.dir/finn/pipeline_sim.cpp.o.d"
+  "/root/repo/src/finn/report.cpp" "src/CMakeFiles/adapex.dir/finn/report.cpp.o" "gcc" "src/CMakeFiles/adapex.dir/finn/report.cpp.o.d"
+  "/root/repo/src/finn/streamline.cpp" "src/CMakeFiles/adapex.dir/finn/streamline.cpp.o" "gcc" "src/CMakeFiles/adapex.dir/finn/streamline.cpp.o.d"
+  "/root/repo/src/hls/folding.cpp" "src/CMakeFiles/adapex.dir/hls/folding.cpp.o" "gcc" "src/CMakeFiles/adapex.dir/hls/folding.cpp.o.d"
+  "/root/repo/src/hls/modules.cpp" "src/CMakeFiles/adapex.dir/hls/modules.cpp.o" "gcc" "src/CMakeFiles/adapex.dir/hls/modules.cpp.o.d"
+  "/root/repo/src/library/cache.cpp" "src/CMakeFiles/adapex.dir/library/cache.cpp.o" "gcc" "src/CMakeFiles/adapex.dir/library/cache.cpp.o.d"
+  "/root/repo/src/library/generator.cpp" "src/CMakeFiles/adapex.dir/library/generator.cpp.o" "gcc" "src/CMakeFiles/adapex.dir/library/generator.cpp.o.d"
+  "/root/repo/src/library/library.cpp" "src/CMakeFiles/adapex.dir/library/library.cpp.o" "gcc" "src/CMakeFiles/adapex.dir/library/library.cpp.o.d"
+  "/root/repo/src/model/cnv.cpp" "src/CMakeFiles/adapex.dir/model/cnv.cpp.o" "gcc" "src/CMakeFiles/adapex.dir/model/cnv.cpp.o.d"
+  "/root/repo/src/model/serialize.cpp" "src/CMakeFiles/adapex.dir/model/serialize.cpp.o" "gcc" "src/CMakeFiles/adapex.dir/model/serialize.cpp.o.d"
+  "/root/repo/src/model/walk.cpp" "src/CMakeFiles/adapex.dir/model/walk.cpp.o" "gcc" "src/CMakeFiles/adapex.dir/model/walk.cpp.o.d"
+  "/root/repo/src/nn/branchy.cpp" "src/CMakeFiles/adapex.dir/nn/branchy.cpp.o" "gcc" "src/CMakeFiles/adapex.dir/nn/branchy.cpp.o.d"
+  "/root/repo/src/nn/eval.cpp" "src/CMakeFiles/adapex.dir/nn/eval.cpp.o" "gcc" "src/CMakeFiles/adapex.dir/nn/eval.cpp.o.d"
+  "/root/repo/src/nn/layers.cpp" "src/CMakeFiles/adapex.dir/nn/layers.cpp.o" "gcc" "src/CMakeFiles/adapex.dir/nn/layers.cpp.o.d"
+  "/root/repo/src/nn/metrics.cpp" "src/CMakeFiles/adapex.dir/nn/metrics.cpp.o" "gcc" "src/CMakeFiles/adapex.dir/nn/metrics.cpp.o.d"
+  "/root/repo/src/nn/optim.cpp" "src/CMakeFiles/adapex.dir/nn/optim.cpp.o" "gcc" "src/CMakeFiles/adapex.dir/nn/optim.cpp.o.d"
+  "/root/repo/src/nn/quant.cpp" "src/CMakeFiles/adapex.dir/nn/quant.cpp.o" "gcc" "src/CMakeFiles/adapex.dir/nn/quant.cpp.o.d"
+  "/root/repo/src/nn/trainer.cpp" "src/CMakeFiles/adapex.dir/nn/trainer.cpp.o" "gcc" "src/CMakeFiles/adapex.dir/nn/trainer.cpp.o.d"
+  "/root/repo/src/pruning/pruning.cpp" "src/CMakeFiles/adapex.dir/pruning/pruning.cpp.o" "gcc" "src/CMakeFiles/adapex.dir/pruning/pruning.cpp.o.d"
+  "/root/repo/src/pruning/sensitivity.cpp" "src/CMakeFiles/adapex.dir/pruning/sensitivity.cpp.o" "gcc" "src/CMakeFiles/adapex.dir/pruning/sensitivity.cpp.o.d"
+  "/root/repo/src/runtime/manager.cpp" "src/CMakeFiles/adapex.dir/runtime/manager.cpp.o" "gcc" "src/CMakeFiles/adapex.dir/runtime/manager.cpp.o.d"
+  "/root/repo/src/tensor/ops.cpp" "src/CMakeFiles/adapex.dir/tensor/ops.cpp.o" "gcc" "src/CMakeFiles/adapex.dir/tensor/ops.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_finn.dir/test_finn.cpp.o"
+  "CMakeFiles/test_finn.dir/test_finn.cpp.o.d"
+  "test_finn"
+  "test_finn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_finn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
