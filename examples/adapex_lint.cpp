@@ -1,0 +1,170 @@
+// adapex_lint — static design verifier for AdaPEx accelerators.
+//
+//   adapex_lint [MODEL.adpx] [--folding FOLDING.json] [--device DEV]
+//               [--min-severity info|warning|error]
+//               [--in-channels N] [--image-size N]
+//               [--folding-style styled|default]
+//               [--scale W] [--exits paper|none]
+//               [--emit-folding PATH]
+//
+// Lints a (model, folding, accelerator-config) design point without running
+// any simulation and prints the structured findings as a table (rule,
+// severity, site, message, fix hint). With MODEL.adpx the model comes from
+// a serialized export; otherwise a CNV demo model is built at --scale with
+// the paper's exits. --folding lints a FINN-style folding JSON (rule R6)
+// before applying it; otherwise a config is generated per --folding-style.
+// --emit-folding writes the effective folding JSON for later hand-editing.
+//
+// Exit code 0 when no error-severity findings, 3 when the design has
+// errors, 1 on usage errors, 2 on runtime failures.
+
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "analysis/lint.hpp"
+#include "model/cnv.hpp"
+#include "model/serialize.hpp"
+
+namespace {
+
+using namespace adapex;
+
+int usage() {
+  std::cerr <<
+      "usage:\n"
+      "  adapex_lint [MODEL.adpx] [--folding FOLDING.json] [--device DEV]\n"
+      "              [--min-severity info|warning|error]\n"
+      "              [--in-channels N] [--image-size N]\n"
+      "              [--folding-style styled|default]\n"
+      "              [--scale W] [--exits paper|none]\n"
+      "              [--emit-folding PATH]\n"
+      "devices: zcu104 (default) | ultra96 | zcu102\n";
+  return 1;
+}
+
+analysis::Severity severity_from_string(const std::string& s) {
+  if (s == "info") return analysis::Severity::kInfo;
+  if (s == "warning") return analysis::Severity::kWarning;
+  if (s == "error") return analysis::Severity::kError;
+  throw ConfigError("unknown severity: " + s + " (expected info|warning|error)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string model_path;
+  std::map<std::string, std::string> flags;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--", 2) == 0) {
+      if (i + 1 >= argc) return usage();
+      flags[argv[i] + 2] = argv[i + 1];
+      ++i;
+    } else if (model_path.empty()) {
+      model_path = argv[i];
+    } else {
+      return usage();
+    }
+  }
+
+  try {
+    AcceleratorConfig config;
+    if (flags.count("in-channels")) {
+      config.in_channels = std::stoi(flags["in-channels"]);
+    }
+    if (flags.count("image-size")) {
+      config.image_size = std::stoi(flags["image-size"]);
+    }
+
+    BranchyModel model;
+    if (!model_path.empty()) {
+      model = load_model(model_path);
+    } else {
+      const double scale =
+          flags.count("scale") ? std::stod(flags["scale"]) : 0.25;
+      const std::string exits =
+          flags.count("exits") ? flags["exits"] : "paper";
+      CnvConfig cnv = CnvConfig{}.scaled(scale);
+      cnv.in_channels = config.in_channels;
+      cnv.image_size = config.image_size;
+      Rng rng(7);
+      model = exits == "none"
+                  ? build_cnv(cnv, rng)
+                  : build_cnv_with_exits(cnv, paper_exits_config(false), rng);
+      std::cerr << "no model given; linting a demo CNV (scale " << scale
+                << ", exits " << exits << ")\n";
+    }
+
+    analysis::LintOptions options;
+    if (flags.count("device")) {
+      options.device = analysis::DeviceProfile::by_name(flags["device"]);
+    }
+    const analysis::Severity min_severity =
+        flags.count("min-severity")
+            ? severity_from_string(flags["min-severity"])
+            : analysis::Severity::kInfo;
+
+    // The folding under test: a user-supplied JSON (linted as R6 against
+    // the walk-order sites before use) or a generated config.
+    analysis::LintReport report;
+    FoldingConfig folding;
+    std::vector<LayerSite> sites;
+    try {
+      sites = walk_compute_layers(model, config.in_channels,
+                                  config.image_size);
+    } catch (const Error&) {
+      // The strict walk rejects the model; rerun the lenient design rules
+      // so the user sees every violation, not just the first.
+      report = analysis::lint_design(model, FoldingConfig{}, config);
+      std::cout << report.format_table(min_severity) << "\n"
+                << report.summary() << "\n";
+      return 3;
+    }
+    if (flags.count("folding")) {
+      const Json j = Json::parse(read_file(flags["folding"]));
+      report.merge(analysis::lint_folding_json(j, sites));
+      if (report.has_errors()) {
+        // The JSON is not well-formed enough to build a config from;
+        // report what we have.
+        std::cout << report.format_table(min_severity) << "\n"
+                  << report.summary() << "\n";
+        return 3;
+      }
+      // R6 passed, so every site has a positive integral PE/SIMD. Build
+      // the config directly instead of via from_json, whose first-check-wins
+      // divisibility validation would hide all but one R1 violation.
+      for (const auto& site : sites) {
+        const Json& entry = j.at(site.name);
+        folding.folds.push_back(
+            LayerFold{static_cast<int>(entry.at("PE").as_number()),
+                      static_cast<int>(entry.at("SIMD").as_number())});
+      }
+    } else {
+      const std::string style =
+          flags.count("folding-style") ? flags["folding-style"] : "styled";
+      if (style == "styled") {
+        folding = styled_folding(sites);
+      } else if (style == "default") {
+        folding = default_folding(sites);
+      } else {
+        throw ConfigError("unknown folding style: " + style);
+      }
+    }
+    if (flags.count("emit-folding")) {
+      write_file(flags["emit-folding"], folding.to_json(sites).dump(2) + "\n");
+      std::cerr << "wrote folding to " << flags["emit-folding"] << "\n";
+    }
+
+    report.merge(analysis::lint(model, folding, config, options));
+
+    const std::string table = report.format_table(min_severity);
+    if (!table.empty()) std::cout << table << "\n";
+    std::cout << report.summary() << " (" << sites.size() << " layers, device "
+              << options.device.name << ")\n";
+    return report.has_errors() ? 3 : 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -1,0 +1,51 @@
+#include "analysis/device.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace adapex {
+namespace analysis {
+
+bool DeviceProfile::fits(const Resources& used) const {
+  return used.lut <= caps.lut && used.ff <= caps.ff && used.bram <= caps.bram &&
+         used.dsp <= caps.dsp;
+}
+
+double DeviceProfile::worst_utilization(const Resources& used) const {
+  auto ratio = [](long u, long cap) {
+    return cap > 0 ? static_cast<double>(u) / static_cast<double>(cap) : 0.0;
+  };
+  return std::max({ratio(used.lut, caps.lut), ratio(used.ff, caps.ff),
+                   ratio(used.bram, caps.bram), ratio(used.dsp, caps.dsp)});
+}
+
+DeviceProfile DeviceProfile::zcu104() {
+  // XCZU7EV: 230k LUTs, 461k FFs, 312 BRAM36 (= 624 BRAM18), 1728 DSP48.
+  return DeviceProfile{"zcu104", Resources{230400, 460800, 624, 1728}};
+}
+
+DeviceProfile DeviceProfile::ultra96() {
+  // XCZU3EG: 71k LUTs, 141k FFs, 216 BRAM18, 360 DSP48.
+  return DeviceProfile{"ultra96", Resources{70560, 141120, 432, 360}};
+}
+
+DeviceProfile DeviceProfile::zcu102() {
+  // XCZU9EG: 274k LUTs, 548k FFs, 912 BRAM36 (= 1824 BRAM18), 2520 DSP48.
+  return DeviceProfile{"zcu102", Resources{274080, 548160, 1824, 2520}};
+}
+
+DeviceProfile DeviceProfile::by_name(const std::string& name) {
+  for (auto& profile : builtin()) {
+    if (profile.name == name) return profile;
+  }
+  throw ConfigError("unknown device profile: " + name +
+                    " (expected zcu104|ultra96|zcu102)");
+}
+
+std::vector<DeviceProfile> DeviceProfile::builtin() {
+  return {zcu104(), ultra96(), zcu102()};
+}
+
+}  // namespace analysis
+}  // namespace adapex

@@ -1,0 +1,46 @@
+// FPGA device resource profiles for budget linting.
+//
+// A DeviceProfile names a part and its resource caps in the same units the
+// HLS cost models use (LUTs, flip-flops, BRAM18 blocks, DSP slices). The
+// paper targets the ZCU104 evaluation board (XCZU7EV); additional profiles
+// cover the neighbouring Zynq UltraScale+ parts so the lint CLI can answer
+// "would this design fit elsewhere" without touching vendor tools.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hls/modules.hpp"
+
+namespace adapex {
+namespace analysis {
+
+/// Resource caps of one FPGA part.
+struct DeviceProfile {
+  std::string name;
+  Resources caps;
+
+  /// True when `used` fits within every resource cap.
+  bool fits(const Resources& used) const;
+
+  /// Utilization fraction of the scarcest resource (>1 means overflow).
+  double worst_utilization(const Resources& used) const;
+
+  /// ZCU104 (XCZU7EV): the paper's target board.
+  static DeviceProfile zcu104();
+  /// Ultra96 (XCZU3EG): a smaller edge board, useful for overflow tests.
+  static DeviceProfile ultra96();
+  /// ZCU102 (XCZU9EG): a larger board.
+  static DeviceProfile zcu102();
+
+  /// Looks a profile up by name ("zcu104" | "ultra96" | "zcu102");
+  /// throws ConfigError on an unknown name.
+  static DeviceProfile by_name(const std::string& name);
+
+  /// All built-in profiles.
+  static std::vector<DeviceProfile> builtin();
+};
+
+}  // namespace analysis
+}  // namespace adapex

@@ -1,0 +1,86 @@
+#include "analysis/diagnostics.hpp"
+
+#include "common/table.hpp"
+
+namespace adapex {
+namespace analysis {
+
+const char* to_string(Severity severity) {
+  switch (severity) {
+    case Severity::kInfo: return "info";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "?";
+}
+
+std::string Diagnostic::str() const {
+  std::string s = rule_id + " " + to_string(severity) + " @ " + site + ": " +
+                  message;
+  if (!fix_hint.empty()) s += " (" + fix_hint + ")";
+  return s;
+}
+
+void LintReport::add(std::string rule_id, Severity severity, std::string site,
+                     std::string message, std::string fix_hint) {
+  diagnostics.push_back(Diagnostic{std::move(rule_id), severity,
+                                   std::move(site), std::move(message),
+                                   std::move(fix_hint)});
+}
+
+std::size_t LintReport::count(Severity severity) const {
+  std::size_t n = 0;
+  for (const auto& d : diagnostics) {
+    if (d.severity == severity) ++n;
+  }
+  return n;
+}
+
+std::vector<Diagnostic> LintReport::filtered(Severity min_severity) const {
+  std::vector<Diagnostic> out;
+  for (const auto& d : diagnostics) {
+    if (static_cast<int>(d.severity) >= static_cast<int>(min_severity)) {
+      out.push_back(d);
+    }
+  }
+  return out;
+}
+
+void LintReport::merge(LintReport other) {
+  for (auto& d : other.diagnostics) diagnostics.push_back(std::move(d));
+}
+
+std::string LintReport::summary() const {
+  const std::size_t errors = count(Severity::kError);
+  const std::size_t warnings = count(Severity::kWarning);
+  const std::size_t infos = count(Severity::kInfo);
+  auto plural = [](std::size_t n, const char* noun) {
+    return std::to_string(n) + " " + noun + (n == 1 ? "" : "s");
+  };
+  return plural(errors, "error") + ", " + plural(warnings, "warning") + ", " +
+         plural(infos, "info");
+}
+
+std::string LintReport::format_table(Severity min_severity) const {
+  const auto shown = filtered(min_severity);
+  if (shown.empty()) return "";
+  TextTable table({"rule", "severity", "site", "message", "fix hint"});
+  for (const auto& d : shown) {
+    table.add_row({d.rule_id, to_string(d.severity), d.site, d.message,
+                   d.fix_hint.empty() ? "-" : d.fix_hint});
+  }
+  return table.str();
+}
+
+std::string LintReport::error_message() const {
+  const auto errors = filtered(Severity::kError);
+  if (errors.empty()) return "";
+  std::string msg = "design verification failed with " +
+                    std::to_string(errors.size()) + " violation" +
+                    (errors.size() == 1 ? "" : "s") + ":";
+  for (const auto& d : errors) msg += "\n  " + d.str();
+  return msg;
+}
+
+}  // namespace analysis
+}  // namespace adapex

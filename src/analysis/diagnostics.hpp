@@ -1,0 +1,74 @@
+// Structured diagnostics for the static design verifier.
+//
+// Every lint rule reports findings as Diagnostic values instead of aborting
+// on the first violation (the ADAPEX_CHECK behaviour the verifier replaces):
+// a rule identifier, a severity, the model/accelerator site the finding
+// anchors to, a human-readable message, and a fix hint. A LintReport
+// aggregates the findings of one verification run and offers severity
+// filtering plus rendering helpers for CLI and error-path consumption.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace adapex {
+namespace analysis {
+
+/// How bad a finding is.
+enum class Severity {
+  kInfo,     ///< Observation; no action required.
+  kWarning,  ///< Legal design, but a hazard or inefficiency.
+  kError,    ///< Illegal design point; synthesis/compilation must reject it.
+};
+
+const char* to_string(Severity severity);
+
+/// One finding of one rule at one site.
+struct Diagnostic {
+  /// Stable rule identifier ("R1".."R7"; see lint.hpp for the catalog).
+  std::string rule_id;
+  Severity severity = Severity::kError;
+  /// Where the finding anchors: a walk-order layer name
+  /// ("backbone.b0.conv1"), a module name ("branch.exit0"), a link
+  /// ("a -> b"), or a scope ("device", "folding", "model").
+  std::string site;
+  std::string message;
+  /// Actionable suggestion ("use PE in {1,2,4,8}", "deepen the FIFO", ...).
+  std::string fix_hint;
+
+  /// One-line rendering: "R1 error @ backbone.b0.conv0: ... (hint)".
+  std::string str() const;
+};
+
+/// All findings of one lint run.
+struct LintReport {
+  std::vector<Diagnostic> diagnostics;
+
+  void add(std::string rule_id, Severity severity, std::string site,
+           std::string message, std::string fix_hint = "");
+
+  bool has_errors() const { return count(Severity::kError) > 0; }
+  bool empty() const { return diagnostics.empty(); }
+  std::size_t count(Severity severity) const;
+
+  /// Findings at or above `min_severity`, preserving report order.
+  std::vector<Diagnostic> filtered(Severity min_severity) const;
+
+  /// Appends another report's findings (rule helpers compose reports).
+  void merge(LintReport other);
+
+  /// "3 errors, 1 warning, 0 infos".
+  std::string summary() const;
+
+  /// Column-aligned table of all findings (empty string when clean).
+  std::string format_table(Severity min_severity = Severity::kInfo) const;
+
+  /// Aggregated single-failure message listing every error-severity finding,
+  /// for embedding in a thrown ConfigError. Empty when there are no errors.
+  std::string error_message() const;
+};
+
+}  // namespace analysis
+}  // namespace adapex

@@ -1,0 +1,85 @@
+// Static verifier for AdaPEx design points.
+//
+// lint() checks a (BranchyModel, FoldingConfig, AcceleratorConfig) triple —
+// and, when the design-level rules pass, the compiled Accelerator — without
+// running the pipeline simulator, emitting structured Diagnostics instead of
+// aborting on the first violated ADAPEX_CHECK. Rule catalog:
+//
+//   R1  folding divisibility: PE | out_channels and SIMD | matrix width
+//       (k^2 * ch_in for conv, in_features for fc) at every walk-order site.
+//   R2  shape propagation: conv/pool/fc geometry must stay consistent from
+//       the input image through the backbone and every exit head.
+//   R3  stream-width agreement: a producer's output parallelism must match
+//       (or integrally convert to) its consumer's input parallelism on every
+//       link, including both consumers of a Branch duplicator.
+//   R4  FIFO backpressure hazards: initiation-interval imbalance across a
+//       Branch fork makes the duplicated stream back up; flagged statically
+//       and cross-checked against the transaction-level fifo_sizing model.
+//   R5  resource budget: total LUT/FF/BRAM/DSP vs. a named device profile
+//       (default ZCU104), with a near-capacity warning band.
+//   R6  folding-JSON well-formedness: arity/site-name match, integral
+//       positive PE/SIMD entries, and to_json/from_json round-trip fidelity.
+//   R7  exit-path structure: exits attach to intermediate blocks in
+//       monotonic order, and every compiled exit path is a prefix-consistent
+//       extension of the backbone path through its Branch module.
+//
+// compile_accelerator() and generate_library() run the design-level rules as
+// a precondition and reject illegal design points with a single aggregated
+// ConfigError listing every violation (replacing the old first-check-wins
+// abort). The adapex_lint CLI (examples/adapex_lint.cpp) exposes the same
+// checks over serialized models and folding JSON files.
+
+#pragma once
+
+#include "analysis/device.hpp"
+#include "analysis/diagnostics.hpp"
+#include "finn/accelerator.hpp"
+#include "hls/folding.hpp"
+#include "nn/branchy.hpp"
+
+namespace adapex {
+namespace analysis {
+
+/// Tuning knobs for a lint run.
+struct LintOptions {
+  DeviceProfile device = DeviceProfile::zcu104();
+  /// Utilization fraction above which R5 warns even though the design fits.
+  double budget_warn_fraction = 0.80;
+  /// R4 warns when an exit head's initiation interval exceeds the
+  /// post-branch backbone II by more than this factor.
+  double fifo_imbalance_warn = 1.5;
+  /// Cross-check R4 findings against the transaction-level FIFO sizing
+  /// model (cheap; set false for a purely analytical run).
+  bool cross_check_fifos = true;
+};
+
+/// Design-level rules (R1, R2, R6, R7's model-structure half): everything
+/// checkable before/without compiling an Accelerator. Never throws on a
+/// broken design — violations come back as diagnostics.
+LintReport lint_design(BranchyModel& model, const FoldingConfig& folding,
+                       const AcceleratorConfig& config);
+
+/// Accelerator-level rules (R3, R4, R5, R7's path half) over a compiled
+/// design. Usable directly on hand-built or deserialized accelerators.
+LintReport lint_accelerator(const Accelerator& acc,
+                            const LintOptions& options = LintOptions{});
+
+/// R6 over a folding JSON document against the model's walk-order sites.
+LintReport lint_folding_json(const Json& folding_json,
+                             const std::vector<LayerSite>& sites);
+
+/// Full verification: design rules first; when they leave no errors, the
+/// model is compiled and the accelerator rules run on the result. The
+/// returned report concatenates both stages.
+LintReport lint(BranchyModel& model, const FoldingConfig& folding,
+                const AcceleratorConfig& config,
+                const LintOptions& options = LintOptions{});
+
+/// Precondition helper used by compile_accelerator()/generate_library():
+/// runs lint_design and throws ConfigError carrying error_message() when any
+/// error-severity finding exists.
+void require_valid_design(BranchyModel& model, const FoldingConfig& folding,
+                          const AcceleratorConfig& config);
+
+}  // namespace analysis
+}  // namespace adapex

@@ -71,3 +71,23 @@ namespace detail {
                                             __LINE__, std::string{});    \
     }                                                                    \
   } while (false)
+
+/// Debug-only check for hot-path preconditions (e.g. tensor indexing).
+/// Compiled in under Debug builds and whenever ADAPEX_ENABLE_DCHECKS is
+/// defined (the ADAPEX_SANITIZE CMake option defines it), compiled out of
+/// optimized Release builds so inner loops stay branch-free.
+#if !defined(NDEBUG) || defined(ADAPEX_ENABLE_DCHECKS)
+#define ADAPEX_DCHECKS_ENABLED 1
+#define ADAPEX_DCHECK(cond, msg)                                         \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::adapex::detail::throw_check_failure("dcheck", #cond, __FILE__,   \
+                                            __LINE__, (msg));            \
+    }                                                                    \
+  } while (false)
+#else
+#define ADAPEX_DCHECKS_ENABLED 0
+#define ADAPEX_DCHECK(cond, msg) \
+  do {                           \
+  } while (false)
+#endif

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "analysis/lint.hpp"
 #include "tensor/ops.hpp"
 
 namespace adapex {
@@ -56,6 +57,8 @@ struct Emitter {
           swu.resources = swu_resources(g, fold.simd, config.cost);
           swu.exit_level = exit_level;
           swu.exit_head = exit_head;
+          swu.in_stream_elems = state.stream_pe;
+          swu.out_stream_elems = fold.simd;
           path.push_back(static_cast<int>(modules.size()));
           modules.push_back(swu);
 
@@ -66,6 +69,8 @@ struct Emitter {
           mvtu.resources = mvtu_resources(g, fold.pe, fold.simd, config.cost);
           mvtu.exit_level = exit_level;
           mvtu.exit_head = exit_head;
+          mvtu.in_stream_elems = fold.simd;
+          mvtu.out_stream_elems = fold.pe;
           path.push_back(static_cast<int>(modules.size()));
           modules.push_back(mvtu);
 
@@ -94,6 +99,8 @@ struct Emitter {
           mvtu.resources = mvtu_resources(g, fold.pe, fold.simd, config.cost);
           mvtu.exit_level = exit_level;
           mvtu.exit_head = exit_head;
+          mvtu.in_stream_elems = fold.simd;
+          mvtu.out_stream_elems = fold.pe;
           path.push_back(static_cast<int>(modules.size()));
           modules.push_back(mvtu);
 
@@ -111,6 +118,8 @@ struct Emitter {
                                        act_bits_default, config.cost);
           m.exit_level = exit_level;
           m.exit_head = exit_head;
+          m.in_stream_elems = state.stream_pe;
+          m.out_stream_elems = state.stream_pe;
           path.push_back(static_cast<int>(modules.size()));
           modules.push_back(m);
           state.dim = ops::out_dim(state.dim, pool.kernel(), pool.stride());
@@ -143,10 +152,10 @@ struct Emitter {
 Accelerator compile_accelerator(BranchyModel& model,
                                 const FoldingConfig& folding,
                                 const AcceleratorConfig& config) {
-  // The folding config is indexed in walk order; validate against it first.
-  auto sites =
-      walk_compute_layers(model, config.in_channels, config.image_size);
-  validate_folding(sites, folding);
+  // Precondition: the design-level lint rules must hold. All violations are
+  // reported at once in a single ConfigError (analysis/lint.hpp), replacing
+  // the old first-check-wins ADAPEX_CHECK aborts.
+  analysis::require_valid_design(model, folding, config);
 
   Emitter emitter{folding, config, {}, 0};
   Accelerator acc;
@@ -179,6 +188,8 @@ Accelerator compile_accelerator(BranchyModel& model,
                                           state.stream_pe, 2, config.cost);
       branch.exit_level = exits_seen;
       branch.exit_head = -1;
+      branch.in_stream_elems = state.stream_pe;
+      branch.out_stream_elems = state.stream_pe;
       backbone_path.push_back(static_cast<int>(emitter.modules.size()));
       emitter.modules.push_back(branch);
       path_prefix_at_exit[e] = backbone_path;  // snapshot incl. the branch

@@ -59,10 +59,13 @@ long fifo_resources_bram(long width_bits, int depth, const HlsCostModel& cost) {
 Resources mvtu_resources(const MvtuGeometry& g, int pe, int simd,
                          const HlsCostModel& cost) {
   Resources r;
+  // 64-bit lane count: user-supplied folds can make pe * simd overflow int.
+  const long lanes = static_cast<long>(pe) * simd;
   const double mac_lut =
       cost.lut_per_mac_base +
       cost.lut_per_mac_per_bitbit * g.weight_bits * g.act_bits;
-  r.lut = static_cast<long>(std::ceil(pe * simd * mac_lut + pe * cost.lut_per_pe));
+  r.lut = static_cast<long>(
+      std::ceil(static_cast<double>(lanes) * mac_lut + pe * cost.lut_per_pe));
   r.ff = static_cast<long>(std::ceil(r.lut * cost.ff_per_lut));
   // Weight memory, partitioned across PE*SIMD lanes; each partition rounds
   // up to BRAM granularity once large enough (small partitions fold into
@@ -70,12 +73,12 @@ Resources mvtu_resources(const MvtuGeometry& g, int pe, int simd,
   const double weight_bits = static_cast<double>(g.out_channels) *
                              g.in_channels * g.kernel * g.kernel *
                              g.weight_bits;
-  const double bits_per_partition = weight_bits / (pe * simd);
+  const double bits_per_partition = weight_bits / static_cast<double>(lanes);
   if (bits_per_partition >= cost.bram_bits / 4) {
     // Large layers: one BRAM group per PE*SIMD partition (FINN's
     // decoupled/const weight memory).
     r.bram = static_cast<long>(
-        pe * simd *
+        static_cast<double>(lanes) *
         std::ceil(bits_per_partition / cost.bram_bits));
   } else if (weight_bits >= cost.bram_bits / 2) {
     // Mid-size layers: BRAM-backed but partitions share blocks (capacity
@@ -91,7 +94,7 @@ Resources mvtu_resources(const MvtuGeometry& g, int pe, int simd,
   // Low-precision MACs synthesize to LUTs, not DSPs (FINN's choice for
   // weights <= 4 bits); wider precisions would take DSP slices.
   if (g.weight_bits > 4 || g.weight_bits <= 0) {
-    r.dsp = static_cast<long>(pe) * simd;
+    r.dsp = lanes;
   }
   return r;
 }

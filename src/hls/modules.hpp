@@ -63,6 +63,13 @@ struct HlsModule {
   int exit_level = 0;
   /// For exit-head modules: which exit, else -1.
   int exit_head = -1;
+
+  // --- stream geometry (filled by the compiler; linted by analysis R3) ---
+  /// Elements per cycle the module consumes on its input stream (SIMD for
+  /// an MVTU, the upstream parallelism for SWU/Pool/Branch).
+  int in_stream_elems = 1;
+  /// Elements per cycle the module produces (PE for an MVTU).
+  int out_stream_elems = 1;
 };
 
 /// Geometry of a conv/fc layer as needed for module costing.

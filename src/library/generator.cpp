@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analysis/lint.hpp"
 #include "nn/eval.hpp"
 #include "pruning/pruning.hpp"
 
@@ -20,6 +21,21 @@ void progress(const LibraryGenSpec& spec, const std::string& msg) {
   if (spec.on_progress) spec.on_progress(msg);
 }
 
+/// Verifies a freshly-built base model against the spec's folding style
+/// before any training epoch is spent on it. Every design-rule violation is
+/// reported in one structured ConfigError (see analysis/lint.hpp).
+void verify_base_design(BranchyModel& model, const LibraryGenSpec& spec,
+                        const char* family) {
+  auto sites = walk_compute_layers(model, spec.accel.in_channels,
+                                   spec.accel.image_size);
+  const FoldingConfig folding = styled_folding(sites, spec.folding_style);
+  const analysis::LintReport report =
+      analysis::lint_design(model, folding, spec.accel);
+  if (report.has_errors()) {
+    throw ConfigError(std::string(family) + " " + report.error_message());
+  }
+}
+
 }  // namespace
 
 Library generate_library(const LibraryGenSpec& spec) {
@@ -36,6 +52,7 @@ Library generate_library(const LibraryGenSpec& spec) {
   // Train each family once.
   Rng init_rng(spec.seed);
   BranchyModel base_plain = build_cnv(spec.cnv, init_rng);
+  verify_base_design(base_plain, spec, "no-exit CNV:");
   progress(spec, "training no-exit CNV (" +
                      std::to_string(spec.initial_train.epochs) + " epochs)");
   train_model(base_plain, data.train, spec.dataset.flip_symmetry,
@@ -49,6 +66,7 @@ Library generate_library(const LibraryGenSpec& spec) {
   if (wants_exits) {
     Rng ee_rng(spec.seed + 1);
     base_ee = build_cnv_with_exits(spec.cnv, spec.exits, ee_rng);
+    verify_base_design(base_ee, spec, "early-exit CNV:");
     progress(spec, "training early-exit CNV (joint loss, " +
                        std::to_string(spec.initial_train.epochs) + " epochs)");
     train_model(base_ee, data.train, spec.dataset.flip_symmetry,

@@ -53,22 +53,32 @@ class Tensor {
   float* data() { return data_.data(); }
   const float* data() const { return data_.data(); }
 
-  float& operator[](std::size_t i) { return data_[i]; }
-  float operator[](std::size_t i) const { return data_[i]; }
+  float& operator[](std::size_t i) {
+    ADAPEX_DCHECK(i < data_.size(), "flat index out of range");
+    return data_[i];
+  }
+  float operator[](std::size_t i) const {
+    ADAPEX_DCHECK(i < data_.size(), "flat index out of range");
+    return data_[i];
+  }
 
   /// 4-D accessor for [N, C, H, W] tensors.
   float& at4(int n, int c, int h, int w) {
+    dcheck_idx4(n, c, h, w);
     return data_[idx4(n, c, h, w)];
   }
   float at4(int n, int c, int h, int w) const {
+    dcheck_idx4(n, c, h, w);
     return data_[idx4(n, c, h, w)];
   }
 
   /// 2-D accessor for [N, F] tensors.
   float& at2(int n, int f) {
+    dcheck_idx2(n, f);
     return data_[static_cast<std::size_t>(n) * shape_[1] + f];
   }
   float at2(int n, int f) const {
+    dcheck_idx2(n, f);
     return data_[static_cast<std::size_t>(n) * shape_[1] + f];
   }
 
@@ -117,6 +127,32 @@ class Tensor {
     return ((static_cast<std::size_t>(n) * shape_[1] + c) * shape_[2] + h) *
                shape_[3] +
            w;
+  }
+
+  void dcheck_idx4(int n, int c, int h, int w) const {
+#if ADAPEX_DCHECKS_ENABLED
+    ADAPEX_DCHECK(shape_.size() == 4, "at4 needs a 4-D tensor, got " +
+                                          shape_str());
+    ADAPEX_DCHECK(n >= 0 && n < shape_[0] && c >= 0 && c < shape_[1] &&
+                      h >= 0 && h < shape_[2] && w >= 0 && w < shape_[3],
+                  "at4(" + std::to_string(n) + ", " + std::to_string(c) +
+                      ", " + std::to_string(h) + ", " + std::to_string(w) +
+                      ") out of range for " + shape_str());
+#else
+    (void)n, (void)c, (void)h, (void)w;
+#endif
+  }
+
+  void dcheck_idx2(int n, int f) const {
+#if ADAPEX_DCHECKS_ENABLED
+    ADAPEX_DCHECK(shape_.size() == 2, "at2 needs a 2-D tensor, got " +
+                                          shape_str());
+    ADAPEX_DCHECK(n >= 0 && n < shape_[0] && f >= 0 && f < shape_[1],
+                  "at2(" + std::to_string(n) + ", " + std::to_string(f) +
+                      ") out of range for " + shape_str());
+#else
+    (void)n, (void)f;
+#endif
   }
 
   std::vector<int> shape_;
