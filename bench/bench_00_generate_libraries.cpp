@@ -5,24 +5,69 @@
 // table) for the CIFAR-10-like and GTSRB-like datasets. Every figure/table
 // bench loads these cached libraries, so running this binary first (bench
 // binaries sort alphabetically) makes the rest fast.
+//
+// The design-point sweep is parallel (ADAPEX_THREADS, default: all cores)
+// and byte-identical at any thread count. When the library is actually
+// generated (cache miss) on more than one thread, the bench also times a
+// serial regeneration and reports the speedup; set ADAPEX_BENCH_SPEEDUP=0
+// to skip that extra serial run.
+
+#include <cstdlib>
+#include <filesystem>
 
 #include "common.hpp"
+#include "common/thread_pool.hpp"
 
 int main() {
   using namespace adapex;
   using namespace adapex::bench;
 
+  const char* speedup_env = std::getenv("ADAPEX_BENCH_SPEEDUP");
+  const bool want_speedup = speedup_env == nullptr ||
+                            std::string(speedup_env) != "0";
+
   print_header("setup", "AdaPEx design-time flow (library generation)");
   for (const auto& dataset : {cifar10_like_spec(), gtsrb_like_spec()}) {
+    LibraryGenSpec spec = bench_spec(dataset);
+    const std::size_t threads = spec.num_threads > 0
+                                    ? static_cast<std::size_t>(spec.num_threads)
+                                    : ThreadPool::env_thread_count();
+    const std::string cached_path = artifact_dir() + "/library_" +
+                                    library_cache_key(spec) + ".json";
+    const bool cache_hit = std::filesystem::exists(cached_path);
+
     Timer timer;
-    std::cout << "dataset " << dataset.name << "...\n";
-    Library lib = bench_library(dataset);
+    std::cout << "dataset " << dataset.name << " (" << threads
+              << " threads)...\n";
+    Library lib = generate_or_load_library(spec, artifact_dir());
+    const double parallel_s = timer.seconds();
+
+    std::string serial_s = "-";
+    std::string speedup = "-";
+    if (!cache_hit && want_speedup && threads > 1) {
+      std::cout << "  serial baseline (ADAPEX_THREADS=1)...\n";
+      LibraryGenSpec serial_spec = spec;
+      serial_spec.num_threads = 1;
+      Timer serial_timer;
+      Library serial_lib = generate_library(serial_spec);
+      const double s = serial_timer.seconds();
+      serial_s = TextTable::num(s, 1);
+      speedup = TextTable::num(s / parallel_s, 2) + "x";
+      // Determinism spot check: the parallel sweep must reproduce the
+      // serial bytes exactly (see generator.hpp).
+      if (serial_lib.to_json().dump(1) != lib.to_json().dump(1)) {
+        std::cerr << "ERROR: parallel library differs from serial library\n";
+        return 1;
+      }
+    }
+
     TextTable table({"dataset", "entries", "accelerators", "ref_accuracy",
-                     "gen_or_load_s"});
+                     "threads", "gen_or_load_s", "serial_s", "speedup"});
     table.add_row({lib.dataset, std::to_string(lib.entries.size()),
                    std::to_string(lib.accelerators.size()),
                    TextTable::num(lib.reference_accuracy, 3),
-                   TextTable::num(timer.seconds(), 1)});
+                   std::to_string(threads), TextTable::num(parallel_s, 1),
+                   serial_s, speedup});
     emit(table, "setup_" + lib.dataset);
   }
   return 0;

@@ -14,19 +14,39 @@
 
 namespace adapex {
 
+/// One step of the splitmix64 sequence: advances `state` and returns the
+/// next output. Also the canonical way to expand one seed into many.
+inline std::uint64_t splitmix64_next(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Stateless splitmix64 avalanche of a single value (a 64-bit bijection).
+inline std::uint64_t splitmix64_mix(std::uint64_t x) {
+  return splitmix64_next(x);
+}
+
+/// Derives the seed of an independent RNG stream from a root seed and a
+/// (a, b) stream identifier — e.g. (variant, prune rate) in the library
+/// generator. Each chaining step is a full avalanche, so for a fixed root
+/// distinct (a, b) pairs that differ in only one coordinate can never
+/// collide (the mix is a bijection), and nearby tuples map to distant
+/// seeds — unlike additive `seed + k*a + b` schemes, which alias easily.
+inline std::uint64_t derive_seed(std::uint64_t root, std::uint64_t a,
+                                 std::uint64_t b = 0) {
+  return splitmix64_mix(splitmix64_mix(splitmix64_mix(root) ^ a) ^ b);
+}
+
 /// Deterministic, portable pseudo-random generator (xoshiro256**).
 class Rng {
  public:
   explicit Rng(std::uint64_t seed) {
     // splitmix64 expansion of the seed into the 256-bit state.
     std::uint64_t x = seed;
-    for (auto& s : state_) {
-      x += 0x9E3779B97F4A7C15ULL;
-      std::uint64_t z = x;
-      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
-      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
-      s = z ^ (z >> 31);
-    }
+    for (auto& s : state_) s = splitmix64_next(x);
   }
 
   /// Next raw 64-bit value.

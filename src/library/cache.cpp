@@ -1,33 +1,166 @@
 #include "library/cache.hpp"
 
+#include <unistd.h>
+
 #include <cstdlib>
 #include <filesystem>
+#include <iomanip>
+#include <limits>
 #include <sstream>
 
 namespace adapex {
 
-std::string library_cache_key(const LibraryGenSpec& spec) {
-  std::ostringstream key;
-  key << spec.dataset.name << "_c" << spec.dataset.num_classes << "_n"
-      << spec.dataset.train_size << "x" << spec.dataset.test_size << "_no"
-      << spec.dataset.noise_min << "-" << spec.dataset.noise_max << "-"
-      << spec.dataset.easy_fraction << "_sd" << spec.dataset.seed << "_w";
-  for (int c : spec.cnv.conv_channels) key << c << ".";
-  key << "_f";
-  for (int f : spec.cnv.fc_features) key << f << ".";
-  key << "_r" << spec.prune_rates_pct.size() << "_t"
-      << spec.conf_thresholds_pct.size() << "_e" << spec.initial_train.epochs
-      << "." << spec.retrain.epochs << "_v" << spec.variants.size() << "_s"
-      << spec.seed;
-  // FNV-1a over the readable key keeps filenames short and stable.
-  const std::string readable = key.str();
+namespace {
+
+/// Bump whenever the key layout below changes (or a generation-relevant
+/// field starts/stops being hashed): every cached artifact written under an
+/// older schema is then ignored rather than silently reused.
+constexpr int kCacheKeySchema = 2;
+
+/// Streams every generation-relevant *value* into a readable key string.
+/// Schema v1 hashed only the sizes of the sweeps and the variant count and
+/// omitted folding_style/accel/power/reconfig/exits entirely, so changing a
+/// sweep value or the device model silently returned a stale Library.
+class KeyBuilder {
+ public:
+  KeyBuilder() {
+    // Full round-trip precision so distinct doubles always hash apart.
+    os_ << std::setprecision(std::numeric_limits<double>::max_digits10);
+  }
+
+  template <typename T>
+  KeyBuilder& field(const char* name, const T& value) {
+    os_ << name << "=" << value << ";";
+    return *this;
+  }
+
+  template <typename T>
+  KeyBuilder& list(const char* name, const std::vector<T>& values) {
+    os_ << name << "=[";
+    for (const T& v : values) os_ << v << ",";
+    os_ << "];";
+    return *this;
+  }
+
+  std::string str() const { return os_.str(); }
+
+ private:
+  std::ostringstream os_;
+};
+
+void add_train_config(KeyBuilder& key, const char* prefix,
+                      const TrainConfig& t) {
+  std::string p(prefix);
+  key.field((p + ".epochs").c_str(), t.epochs)
+      .field((p + ".batch_size").c_str(), t.batch_size)
+      .field((p + ".lr").c_str(), t.lr)
+      .field((p + ".momentum").c_str(), t.momentum)
+      .field((p + ".weight_decay").c_str(), t.weight_decay)
+      .field((p + ".lr_decay").c_str(), t.lr_decay)
+      .field((p + ".lr_decay_epochs").c_str(), t.lr_decay_epochs)
+      .list((p + ".exit_weights").c_str(), t.exit_weights)
+      .field((p + ".augment").c_str(), t.augment)
+      .field((p + ".seed").c_str(), t.seed);
+}
+
+std::uint64_t fnv1a(const std::string& s) {
   std::uint64_t h = 1469598103934665603ULL;
-  for (char c : readable) {
+  for (char c : s) {
     h ^= static_cast<unsigned char>(c);
     h *= 1099511628211ULL;
   }
+  return h;
+}
+
+}  // namespace
+
+std::string library_cache_key(const LibraryGenSpec& spec) {
+  KeyBuilder key;
+  key.field("schema", kCacheKeySchema);
+
+  key.field("ds.name", spec.dataset.name)
+      .field("ds.classes", spec.dataset.num_classes)
+      .field("ds.train", spec.dataset.train_size)
+      .field("ds.test", spec.dataset.test_size)
+      .field("ds.chw", spec.dataset.channels)
+      .field("ds.h", spec.dataset.height)
+      .field("ds.w", spec.dataset.width)
+      .field("ds.noise_min", spec.dataset.noise_min)
+      .field("ds.noise_max", spec.dataset.noise_max)
+      .field("ds.easy", spec.dataset.easy_fraction)
+      .field("ds.shift", spec.dataset.max_shift)
+      .field("ds.flip", spec.dataset.flip_symmetry)
+      .field("ds.seed", spec.dataset.seed);
+
+  key.field("cnv.in", spec.cnv.in_channels)
+      .field("cnv.img", spec.cnv.image_size)
+      .list("cnv.conv", spec.cnv.conv_channels)
+      .list("cnv.fc", spec.cnv.fc_features)
+      .field("cnv.classes", spec.cnv.num_classes)
+      .field("cnv.wbits", spec.cnv.weight_bits)
+      .field("cnv.abits", spec.cnv.act_bits);
+
+  key.field("exits.pruned", spec.exits.prune_exits);
+  {
+    std::ostringstream ex;
+    for (const ExitSpec& e : spec.exits.exits) {
+      ex << e.after_block << ":" << to_string(e.ops) << ",";
+    }
+    key.field("exits.list", ex.str());
+  }
+
+  {
+    std::ostringstream vs;
+    for (ModelVariant v : spec.variants) vs << to_string(v) << ",";
+    key.field("variants", vs.str());
+  }
+
+  key.list("rates", spec.prune_rates_pct)
+      .list("thresholds", spec.conf_thresholds_pct);
+
+  add_train_config(key, "train", spec.initial_train);
+  add_train_config(key, "retrain", spec.retrain);
+
+  {
+    std::ostringstream fs;
+    for (const auto& [pe, simd] : spec.folding_style.conv_caps_per_block) {
+      fs << pe << "/" << simd << ",";
+    }
+    fs << "fc" << spec.folding_style.fc_caps.first << "/"
+       << spec.folding_style.fc_caps.second << ",exitconv"
+       << spec.folding_style.exit_conv_caps.first << "/"
+       << spec.folding_style.exit_conv_caps.second << ",exitfc"
+       << spec.folding_style.exit_fc_caps.first << "/"
+       << spec.folding_style.exit_fc_caps.second;
+    key.field("folding", fs.str());
+  }
+
+  key.field("accel.fclk", spec.accel.fclk_mhz)
+      .field("accel.in", spec.accel.in_channels)
+      .field("accel.img", spec.accel.image_size)
+      .field("accel.lut_mac", spec.accel.cost.lut_per_mac_base)
+      .field("accel.lut_bitbit", spec.accel.cost.lut_per_mac_per_bitbit)
+      .field("accel.ff_lut", spec.accel.cost.ff_per_lut)
+      .field("accel.lut_pe", spec.accel.cost.lut_per_pe)
+      .field("accel.bram_bits", spec.accel.cost.bram_bits)
+      .field("accel.fifo", spec.accel.cost.fifo_depth);
+
+  key.field("power.static", spec.power.static_w)
+      .field("power.klut", spec.power.w_per_klut)
+      .field("power.kff", spec.power.w_per_kff)
+      .field("power.bram", spec.power.w_per_bram)
+      .field("power.dsp", spec.power.w_per_dsp);
+
+  key.field("reconfig.base", spec.reconfig.base_ms)
+      .field("reconfig.lut", spec.reconfig.ms_per_100klut);
+
+  // NOTE: spec.num_threads and spec.on_progress are deliberately excluded —
+  // neither affects the generated bytes (see generator.hpp).
+  key.field("seed", spec.seed);
+
   std::ostringstream out;
-  out << spec.dataset.name << "_" << std::hex << h;
+  out << spec.dataset.name << "_v" << kCacheKeySchema << "_" << std::hex
+      << fnv1a(key.str());
   return out.str();
 }
 
@@ -36,10 +169,28 @@ Library generate_or_load_library(const LibraryGenSpec& spec,
   std::filesystem::create_directories(dir);
   const std::string path = dir + "/library_" + library_cache_key(spec) + ".json";
   if (std::filesystem::exists(path)) {
-    return Library::load(path);
+    try {
+      return Library::load(path);
+    } catch (const Error& e) {
+      // A torn or truncated artifact (e.g. a crashed writer predating the
+      // atomic publish below) must trigger regeneration, not a hard crash.
+      if (spec.on_progress) {
+        spec.on_progress(std::string("cache: discarding corrupt artifact ") +
+                         path + " (" + e.what() + ")");
+      }
+      std::error_code ec;
+      std::filesystem::remove(path, ec);
+    }
   }
   Library lib = generate_library(spec);
-  lib.save(path);
+  // Atomic publish: concurrent benches racing on the same key either see
+  // the complete file or none at all; the pid salt keeps two writers from
+  // interleaving within one temp file. rename() then makes the last writer
+  // win with an identical payload (generation is deterministic).
+  const std::string tmp =
+      path + "." + std::to_string(::getpid()) + ".json.tmp";
+  lib.save(tmp);
+  std::filesystem::rename(tmp, path);
   return lib;
 }
 

@@ -1,8 +1,14 @@
 #include "library/generator.hpp"
 
 #include <algorithm>
+#include <exception>
+#include <map>
+#include <mutex>
+#include <set>
+#include <utility>
 
 #include "analysis/lint.hpp"
+#include "common/thread_pool.hpp"
 #include "nn/eval.hpp"
 #include "pruning/pruning.hpp"
 
@@ -36,6 +42,162 @@ void verify_base_design(BranchyModel& model, const LibraryGenSpec& spec,
   }
 }
 
+/// One (variant, prune-rate) task of the design-point sweep.
+struct DesignPoint {
+  ModelVariant variant = ModelVariant::kNoExit;
+  int rate_pct = 0;
+  std::uint64_t retrain_seed = 0;
+};
+
+/// Everything a design-point task produces. Tasks fill exactly their own
+/// slot; the Library is assembled from the slots in sweep order after the
+/// barrier, which is what makes the output independent of scheduling.
+struct DesignPointResult {
+  AcceleratorRecord accelerator;
+  std::vector<LibraryEntry> entries;
+  std::string progress_msg;
+};
+
+/// Serializes on_progress calls and releases per-design-point messages in
+/// sweep order: a point's message is held until every earlier point has
+/// reported, so the progress stream reads identically at any thread count.
+class OrderedProgressSink {
+ public:
+  explicit OrderedProgressSink(const LibraryGenSpec& spec) : spec_(spec) {}
+
+  void publish(std::size_t index, const std::string& msg) {
+    if (!spec_.on_progress) return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    buffered_[index] = msg;
+    for (auto it = buffered_.begin();
+         it != buffered_.end() && it->first == next_; it = buffered_.begin()) {
+      spec_.on_progress(it->second);
+      buffered_.erase(it);
+      ++next_;
+    }
+  }
+
+ private:
+  const LibraryGenSpec& spec_;
+  std::mutex mutex_;
+  std::map<std::size_t, std::string> buffered_;
+  std::size_t next_ = 0;
+};
+
+/// The design points in sweep order (the serial loop's iteration order),
+/// with per-point retrain seeds derived via splitmix64 so that no two
+/// (variant, rate) pairs can share a training stream. The old additive
+/// `seed + 1000 + rate*3 + variant` scheme packed every stream into a tiny
+/// window above the root seed, so two runs whose roots differ by a small
+/// amount (15 reuses the grid's retrain streams shifted by one rate step;
+/// ~1000 collides retrain streams with the other run's base-training
+/// seeds seed+1 / seed+11) silently trained from identical streams. The
+/// splitmix derivation keeps uniqueness a checkable property instead of an
+/// arithmetic coincidence, so it is asserted here for the whole sweep.
+std::vector<DesignPoint> enumerate_design_points(const LibraryGenSpec& spec) {
+  std::vector<DesignPoint> points;
+  std::set<std::uint64_t> seen;
+  for (ModelVariant variant : spec.variants) {
+    for (int rate_pct : spec.prune_rates_pct) {
+      // pruned-exits and not-pruned-exits coincide at rate 0; emit once.
+      if (variant == ModelVariant::kPrunedExits && rate_pct == 0) continue;
+      DesignPoint p;
+      p.variant = variant;
+      p.rate_pct = rate_pct;
+      p.retrain_seed =
+          derive_seed(spec.seed, static_cast<std::uint64_t>(variant),
+                      static_cast<std::uint64_t>(rate_pct));
+      ADAPEX_CHECK(seen.insert(p.retrain_seed).second,
+                   "retrain seed collision across the (variant, rate) sweep");
+      points.push_back(p);
+    }
+  }
+  return points;
+}
+
+std::size_t resolve_thread_count(const LibraryGenSpec& spec) {
+  if (spec.num_threads > 0) return static_cast<std::size_t>(spec.num_threads);
+  return ThreadPool::env_thread_count();
+}
+
+/// Clones the family base model, prunes, retrains, compiles, and evaluates
+/// one design point. Touches only task-local state plus the const-shared
+/// base models, dataset, and spec — safe to run concurrently.
+DesignPointResult run_design_point(const LibraryGenSpec& spec,
+                                   const SyntheticDataset& data,
+                                   const BranchyModel& base,
+                                   const DesignPoint& point, int accel_id) {
+  DesignPointResult result;
+  const bool has_exits = point.variant != ModelVariant::kNoExit;
+
+  BranchyModel model = base.clone();
+  auto sites = walk_compute_layers(model, spec.accel.in_channels,
+                                   spec.accel.image_size);
+  const FoldingConfig folding = styled_folding(sites, spec.folding_style);
+
+  PruneOptions popts;
+  popts.rate = point.rate_pct / 100.0;
+  popts.prune_exits = point.variant == ModelVariant::kPrunedExits;
+  popts.folding = folding;
+  popts.in_channels = spec.accel.in_channels;
+  popts.image_size = spec.accel.image_size;
+  const PruneReport report = prune_model(model, popts);
+
+  if (report.achieved_rate > 0.0) {
+    TrainConfig rt = spec.retrain;
+    rt.seed = point.retrain_seed;
+    train_model(model, data.train, spec.dataset.flip_symmetry, rt);
+  }
+
+  const Accelerator acc = compile_accelerator(model, folding, spec.accel);
+  result.accelerator.id = accel_id;
+  result.accelerator.variant = point.variant;
+  result.accelerator.prune_rate_pct = point.rate_pct;
+  result.accelerator.resources = acc.total;
+  result.accelerator.exit_overhead = acc.exit_overhead;
+  result.accelerator.reconfig_ms = spec.reconfig.time_ms(acc);
+
+  const ExitEvaluation eval = evaluate_exits(model, data.test);
+  if (!has_exits) {
+    const auto stats = apply_threshold(eval, 2.0);
+    const auto perf = estimate_performance(acc, {1.0}, spec.power);
+    LibraryEntry entry;
+    entry.accel_id = accel_id;
+    entry.variant = point.variant;
+    entry.prune_rate_pct = point.rate_pct;
+    entry.conf_threshold_pct = -1;
+    entry.accuracy = stats.accuracy;
+    entry.exit_fractions = {1.0};
+    entry.ips = perf.ips;
+    entry.latency_ms = perf.latency_ms;
+    entry.peak_power_w = perf.peak_power_w;
+    entry.energy_per_inf_j = perf.energy_per_inf_j;
+    result.entries.push_back(entry);
+  } else {
+    for (int ct : spec.conf_thresholds_pct) {
+      const auto stats = apply_threshold(eval, ct / 100.0);
+      const auto perf =
+          estimate_performance(acc, stats.exit_fraction, spec.power);
+      LibraryEntry entry;
+      entry.accel_id = accel_id;
+      entry.variant = point.variant;
+      entry.prune_rate_pct = point.rate_pct;
+      entry.conf_threshold_pct = ct;
+      entry.accuracy = stats.accuracy;
+      entry.exit_fractions = stats.exit_fraction;
+      entry.ips = perf.ips;
+      entry.latency_ms = perf.latency_ms;
+      entry.peak_power_w = perf.peak_power_w;
+      entry.energy_per_inf_j = perf.energy_per_inf_j;
+      result.entries.push_back(entry);
+    }
+  }
+  result.progress_msg = std::string(to_string(point.variant)) + " rate " +
+                        std::to_string(point.rate_pct) + "%: achieved " +
+                        std::to_string(report.achieved_rate);
+  return result;
+}
+
 }  // namespace
 
 Library generate_library(const LibraryGenSpec& spec) {
@@ -49,7 +211,7 @@ Library generate_library(const LibraryGenSpec& spec) {
   lib.dataset = spec.dataset.name;
   lib.static_power_w = spec.power.static_w;
 
-  // Train each family once.
+  // Train each family once, serially: every design point forks from these.
   Rng init_rng(spec.seed);
   BranchyModel base_plain = build_cnv(spec.cnv, init_rng);
   verify_base_design(base_plain, spec, "no-exit CNV:");
@@ -81,84 +243,54 @@ Library generate_library(const LibraryGenSpec& spec) {
                        std::to_string(lib.reference_accuracy));
   }
 
-  int next_accel_id = 0;
-  for (ModelVariant variant : spec.variants) {
-    const bool has_exits = variant != ModelVariant::kNoExit;
-    BranchyModel& base = has_exits ? base_ee : base_plain;
+  // Fan the (variant, rate) design points out over the pool. From here on
+  // the base models, dataset, and spec are read-only shared state; each
+  // task writes only its own pre-assigned result slot, so assembling rows
+  // in sweep order below yields the same bytes at any thread count.
+  const std::vector<DesignPoint> points = enumerate_design_points(spec);
+  std::vector<DesignPointResult> results(points.size());
+  const std::size_t num_threads =
+      std::min(resolve_thread_count(spec), std::max<std::size_t>(points.size(), 1));
 
-    for (int rate_pct : spec.prune_rates_pct) {
-      // pruned-exits and not-pruned-exits coincide at rate 0; emit once.
-      if (variant == ModelVariant::kPrunedExits && rate_pct == 0) continue;
+  auto run_point = [&](std::size_t i) {
+    const DesignPoint& p = points[i];
+    const BranchyModel& base =
+        p.variant != ModelVariant::kNoExit ? base_ee : base_plain;
+    results[i] = run_design_point(spec, data, base, p, static_cast<int>(i));
+  };
 
-      BranchyModel model = base.clone();
-      auto sites = walk_compute_layers(model, spec.accel.in_channels,
-                                       spec.accel.image_size);
-      const FoldingConfig folding = styled_folding(sites, spec.folding_style);
-
-      PruneOptions popts;
-      popts.rate = rate_pct / 100.0;
-      popts.prune_exits = variant == ModelVariant::kPrunedExits;
-      popts.folding = folding;
-      popts.in_channels = spec.accel.in_channels;
-      popts.image_size = spec.accel.image_size;
-      const PruneReport report = prune_model(model, popts);
-
-      if (report.achieved_rate > 0.0) {
-        TrainConfig rt = spec.retrain;
-        rt.seed = spec.seed + 1000 + static_cast<std::uint64_t>(rate_pct) * 3 +
-                  static_cast<std::uint64_t>(variant);
-        train_model(model, data.train, spec.dataset.flip_symmetry, rt);
-      }
-
-      const Accelerator acc = compile_accelerator(model, folding, spec.accel);
-      AcceleratorRecord arec;
-      arec.id = next_accel_id++;
-      arec.variant = variant;
-      arec.prune_rate_pct = rate_pct;
-      arec.resources = acc.total;
-      arec.exit_overhead = acc.exit_overhead;
-      arec.reconfig_ms = spec.reconfig.time_ms(acc);
-      lib.accelerators.push_back(arec);
-
-      const ExitEvaluation eval = evaluate_exits(model, data.test);
-      if (!has_exits) {
-        const auto stats = apply_threshold(eval, 2.0);
-        const auto perf = estimate_performance(acc, {1.0}, spec.power);
-        LibraryEntry entry;
-        entry.accel_id = arec.id;
-        entry.variant = variant;
-        entry.prune_rate_pct = rate_pct;
-        entry.conf_threshold_pct = -1;
-        entry.accuracy = stats.accuracy;
-        entry.exit_fractions = {1.0};
-        entry.ips = perf.ips;
-        entry.latency_ms = perf.latency_ms;
-        entry.peak_power_w = perf.peak_power_w;
-        entry.energy_per_inf_j = perf.energy_per_inf_j;
-        lib.entries.push_back(entry);
-      } else {
-        for (int ct : spec.conf_thresholds_pct) {
-          const auto stats = apply_threshold(eval, ct / 100.0);
-          const auto perf =
-              estimate_performance(acc, stats.exit_fraction, spec.power);
-          LibraryEntry entry;
-          entry.accel_id = arec.id;
-          entry.variant = variant;
-          entry.prune_rate_pct = rate_pct;
-          entry.conf_threshold_pct = ct;
-          entry.accuracy = stats.accuracy;
-          entry.exit_fractions = stats.exit_fraction;
-          entry.ips = perf.ips;
-          entry.latency_ms = perf.latency_ms;
-          entry.peak_power_w = perf.peak_power_w;
-          entry.energy_per_inf_j = perf.energy_per_inf_j;
-          lib.entries.push_back(entry);
-        }
-      }
-      progress(spec, std::string(to_string(variant)) + " rate " +
-                         std::to_string(rate_pct) + "%: achieved " +
-                         std::to_string(report.achieved_rate));
+  if (num_threads <= 1) {
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      run_point(i);
+      progress(spec, results[i].progress_msg);
     }
+  } else {
+    progress(spec, "sweeping " + std::to_string(points.size()) +
+                       " design points on " + std::to_string(num_threads) +
+                       " threads");
+    OrderedProgressSink sink(spec);
+    ThreadPool pool(num_threads);
+    std::mutex error_mutex;
+    std::exception_ptr first_error;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      pool.submit([&, i] {
+        try {
+          run_point(i);
+          sink.publish(i, results[i].progress_msg);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+          sink.publish(i, "design point " + std::to_string(i) + " failed");
+        }
+      });
+    }
+    pool.wait();
+    if (first_error) std::rethrow_exception(first_error);
+  }
+
+  for (auto& result : results) {
+    lib.accelerators.push_back(result.accelerator);
+    for (auto& entry : result.entries) lib.entries.push_back(std::move(entry));
   }
   return lib;
 }

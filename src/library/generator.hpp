@@ -11,6 +11,18 @@
 // trained once with the BranchyNet joint loss and cloned before each
 // pruning pass. Test-set evaluation runs once per pruned model; confidence
 // thresholds are applied as post-processing (nn/eval.hpp).
+//
+// Parallelism and determinism: after the two base models are trained, every
+// (variant, prune-rate) design point is an independent task — it clones the
+// trained base, prunes, retrains, compiles, and evaluates entirely on
+// task-local state — executed on a work-stealing pool
+// (common/thread_pool.hpp). Retrain seeds are derived per design point with
+// derive_seed(spec.seed, variant, rate) (common/rng.hpp) rather than from
+// the loop schedule, results land in pre-assigned slots, and Library rows
+// are assembled in sweep order after the barrier, so the generated Library
+// is byte-identical for every thread count (ADAPEX_THREADS=1 reproduces the
+// serial path exactly). Progress messages are buffered per design point and
+// flushed in sweep order through a mutex-guarded sink.
 
 #pragma once
 
@@ -47,7 +59,14 @@ struct LibraryGenSpec {
   PowerModel power;
   ReconfigModel reconfig;
   std::uint64_t seed = 7;
+  /// Design-point parallelism: 0 resolves ADAPEX_THREADS (default:
+  /// hardware_concurrency), 1 runs serially on the calling thread. The
+  /// generated Library is byte-identical at every thread count, so this is
+  /// deliberately NOT part of the artifact cache key.
+  int num_threads = 0;
   /// Progress sink (e.g. [](const std::string& s){ std::cerr << s << "\n"; }).
+  /// May be called from worker threads, but calls are serialized under a
+  /// mutex and design-point messages arrive in sweep order.
   std::function<void(const std::string&)> on_progress;
 };
 

@@ -1,6 +1,7 @@
 #include "nn/branchy.hpp"
 
 #include <algorithm>
+#include <utility>
 
 namespace adapex {
 
@@ -63,6 +64,17 @@ std::vector<Param*> BranchyModel::params() {
   }
   for (auto& exit : exits_) {
     for (Param* p : exit.head->params()) all.push_back(p);
+  }
+  return all;
+}
+
+std::vector<const Param*> BranchyModel::params() const {
+  std::vector<const Param*> all;
+  for (const auto& block : blocks_) {
+    for (const Param* p : std::as_const(*block).params()) all.push_back(p);
+  }
+  for (const auto& exit : exits_) {
+    for (const Param* p : std::as_const(*exit.head).params()) all.push_back(p);
   }
   return all;
 }

@@ -56,6 +56,7 @@ class BranchyModel {
 
   /// All trainable parameters (backbone + exits).
   std::vector<Param*> params();
+  std::vector<const Param*> params() const;
 
   /// Deep copy.
   BranchyModel clone() const;

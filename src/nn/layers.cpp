@@ -1,6 +1,7 @@
 #include "nn/layers.hpp"
 
 #include <cmath>
+#include <utility>
 
 #include "tensor/ops.hpp"
 
@@ -378,6 +379,14 @@ std::vector<Param*> Sequential::params() {
   std::vector<Param*> all;
   for (auto& layer : layers_) {
     for (Param* p : layer->params()) all.push_back(p);
+  }
+  return all;
+}
+
+std::vector<const Param*> Sequential::params() const {
+  std::vector<const Param*> all;
+  for (const auto& layer : layers_) {
+    for (const Param* p : std::as_const(*layer).params()) all.push_back(p);
   }
   return all;
 }

@@ -59,6 +59,9 @@ class Layer {
 
   /// Trainable parameters (empty for stateless layers).
   virtual std::vector<Param*> params() { return {}; }
+  /// Read-only view of the trainable parameters (for inspection of models
+  /// shared const across threads).
+  virtual std::vector<const Param*> params() const { return {}; }
 
   virtual LayerKind kind() const = 0;
   virtual std::string name() const = 0;
@@ -78,6 +81,7 @@ class QuantConv2d : public Layer {
   Tensor forward(const Tensor& input, bool train) override;
   Tensor backward(const Tensor& grad_output) override;
   std::vector<Param*> params() override { return {&weight_}; }
+  std::vector<const Param*> params() const override { return {&weight_}; }
   LayerKind kind() const override { return LayerKind::kConv; }
   std::string name() const override;
   std::unique_ptr<Layer> clone() const override;
@@ -109,6 +113,7 @@ class QuantLinear : public Layer {
   Tensor forward(const Tensor& input, bool train) override;
   Tensor backward(const Tensor& grad_output) override;
   std::vector<Param*> params() override { return {&weight_}; }
+  std::vector<const Param*> params() const override { return {&weight_}; }
   LayerKind kind() const override { return LayerKind::kLinear; }
   std::string name() const override;
   std::unique_ptr<Layer> clone() const override;
@@ -137,6 +142,9 @@ class BatchNorm : public Layer {
   Tensor forward(const Tensor& input, bool train) override;
   Tensor backward(const Tensor& grad_output) override;
   std::vector<Param*> params() override { return {&gamma_, &beta_}; }
+  std::vector<const Param*> params() const override {
+    return {&gamma_, &beta_};
+  }
   LayerKind kind() const override { return LayerKind::kBatchNorm; }
   std::string name() const override;
   std::unique_ptr<Layer> clone() const override;
@@ -234,6 +242,7 @@ class Sequential : public Layer {
   Tensor forward(const Tensor& input, bool train) override;
   Tensor backward(const Tensor& grad_output) override;
   std::vector<Param*> params() override;
+  std::vector<const Param*> params() const override;
   LayerKind kind() const override { return LayerKind::kFlatten; }  // unused
   std::string name() const override { return "Sequential"; }
   std::unique_ptr<Layer> clone() const override;

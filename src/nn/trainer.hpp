@@ -44,6 +44,12 @@ std::vector<double> resolve_exit_weights(const TrainConfig& config,
                                          std::size_t num_outputs);
 
 /// Trains `model` in place; returns one EpochStats per epoch.
+///
+/// Thread-safety contract (relied on by the parallel library generator):
+/// the only state mutated is `model` and locals — `train` and `config` are
+/// accessed read-only and all randomness comes from a private Rng seeded
+/// with `config.seed`. Concurrent calls on *distinct* models sharing one
+/// const Dataset are safe and bit-reproducible.
 std::vector<EpochStats> train_model(BranchyModel& model, const Dataset& train,
                                     bool flip_symmetry,
                                     const TrainConfig& config);
