@@ -21,7 +21,8 @@ int main() {
   constexpr int kRuns = 30;
 
   TextTable table({"reconfig_scale", "reconfig_ms", "adapex_loss_pct",
-                   "adapex_qoe_pct", "reconfigs_per_run", "ct_only_qoe_pct"});
+                   "adapex_qoe_pct", "reconfigs_per_run", "failed_per_run",
+                   "availability_pct", "ct_only_qoe_pct"});
   const auto ct_only =
       simulate_edge_runs(lib, {AdaptPolicy::kCtOnly, 0.10}, scenario, kRuns);
   for (double mult : {0.0, 0.5, 1.0, 2.0, 5.0, 10.0}) {
@@ -33,12 +34,18 @@ int main() {
     }
     const auto m = simulate_edge_runs(scaled, {AdaptPolicy::kAdaPEx, 0.10},
                                       scenario, kRuns);
+    // The failure columns report zero here (the scenario injects no
+    // faults); they make the cost sweep comparable to bench_robustness.
     table.add_row({TextTable::num(mult, 1), TextTable::num(ms, 0),
                    TextTable::num(m.inference_loss_pct, 2),
                    TextTable::num(m.qoe * 100.0, 2),
                    TextTable::num(static_cast<double>(m.reconfigurations) /
                                       kRuns,
                                   1),
+                   TextTable::num(static_cast<double>(m.reconfig_failures) /
+                                      kRuns,
+                                  1),
+                   TextTable::num(m.availability_pct, 2),
                    TextTable::num(ct_only.qoe * 100.0, 2)});
   }
   emit(table, "ablation_reconfig");

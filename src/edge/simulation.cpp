@@ -10,6 +10,11 @@ namespace adapex {
 
 namespace {
 
+// Stream identifier for the manager's backoff-jitter seed (the workload
+// model consumes scenario.seed directly; the fault injector derives its own
+// per-category streams).
+constexpr std::uint64_t kManagerStream = 0x4A17;
+
 /// Arrival stream from the scenario's workload pattern.
 std::vector<double> generate_arrivals(const EdgeScenario& sc) {
   WorkloadSpec spec;
@@ -27,13 +32,86 @@ std::vector<double> generate_arrivals(const EdgeScenario& sc) {
 
 }  // namespace
 
+analysis::LintReport lint_edge_scenario(const EdgeScenario& scenario) {
+  analysis::LintReport report;
+  auto bad = [&](const char* rule, const std::string& message,
+                 const std::string& hint) {
+    report.add(rule, analysis::Severity::kError, "edge-scenario", message,
+               hint);
+  };
+  if (scenario.cameras <= 0) {
+    bad("ES1", "cameras = " + std::to_string(scenario.cameras) +
+                   " is not positive",
+        "the fleet needs at least one camera");
+  }
+  if (!(scenario.ips_per_camera >= 0.0)) {
+    bad("ES2", "ips_per_camera = " + std::to_string(scenario.ips_per_camera) +
+                   " is negative",
+        "use a non-negative request rate");
+  }
+  if (!(scenario.duration_s > 0.0)) {
+    bad("ES3", "duration_s = " + std::to_string(scenario.duration_s) +
+                   " is not positive",
+        "the episode needs a positive length");
+  }
+  if (!(scenario.deviation >= 0.0)) {
+    bad("ES4", "deviation = " + std::to_string(scenario.deviation) +
+                   " is negative",
+        "deviation is a +- amplitude");
+  }
+  if (!(scenario.deviation_period_s > 0.0)) {
+    bad("ES5", "deviation_period_s = " +
+                   std::to_string(scenario.deviation_period_s) +
+                   " is not positive",
+        "rate re-evaluation needs a positive period");
+  }
+  if (!(scenario.sample_period_s > 0.0)) {
+    bad("ES6", "sample_period_s = " +
+                   std::to_string(scenario.sample_period_s) +
+                   " is not positive",
+        "the monitor needs a positive cadence");
+  }
+  if (!(scenario.reselect_threshold >= 0.0)) {
+    bad("ES7", "reselect_threshold = " +
+                   std::to_string(scenario.reselect_threshold) +
+                   " is negative",
+        "use a non-negative change fraction");
+  }
+  if (scenario.queue_capacity <= 0) {
+    bad("ES8", "queue_capacity = " + std::to_string(scenario.queue_capacity) +
+                   " is not positive",
+        "the request buffer needs capacity");
+  }
+  if (!(scenario.spike_start_s >= 0.0 && scenario.spike_duration_s >= 0.0 &&
+        scenario.spike_multiplier >= 0.0)) {
+    bad("ES9", "flash-crowd spike parameters must be non-negative",
+        "check spike_start_s/spike_duration_s/spike_multiplier");
+  }
+  if (scenario.watchdog_periods < 1) {
+    bad("ES10", "watchdog_periods = " +
+                    std::to_string(scenario.watchdog_periods) +
+                    " is below 1",
+        "the watchdog needs at least one stagnant period");
+  }
+  report.merge(lint_fault_spec(scenario.faults));
+  return report;
+}
+
+void require_valid_edge_scenario(const EdgeScenario& scenario) {
+  const analysis::LintReport report = lint_edge_scenario(scenario);
+  if (report.has_errors()) throw ConfigError(report.error_message());
+}
+
 EdgeMetrics simulate_edge(const Library& library, const RuntimePolicy& policy,
                           const EdgeScenario& scenario) {
-  ADAPEX_CHECK(scenario.duration_s > 0 && scenario.cameras > 0,
-               "degenerate scenario");
+  require_valid_edge_scenario(scenario);
   const std::vector<double> arrivals = generate_arrivals(scenario);
 
-  RuntimeManager manager(library, policy);
+  RuntimeManager manager(library, policy,
+                         derive_seed(scenario.seed, kManagerStream));
+  // Start from the most accurate eligible point (low workload assumption).
+  manager.select(0.0, 0.0);
+  FaultInjector injector(scenario.faults, scenario.seed);
   EdgeMetrics metrics;
   metrics.offered = static_cast<long>(arrivals.size());
 
@@ -61,33 +139,153 @@ EdgeMetrics simulate_edge(const Library& library, const RuntimePolicy& policy,
     last_power_checkpoint = upto;
   };
 
+  // Robustness bookkeeping.
+  double failing_since = -1.0;  // first failure of the open failure episode
+  double dark_until = 0.0;      // scheduled end of accelerator dark time
+  long last_served = 0;
+  long dropped_at_last_tick = 0;
+  int stagnant_ticks = 0;
+  bool has_delayed = false;     // a monitor sample in flight one period late
+  double delayed_rate = 0.0;
+
+  // Resolves a manager decision: attempts the proposed reconfiguration
+  // through the fault injector, reports the outcome back, and accounts dead
+  // time and recovery latency.
+  auto apply_decision = [&](Decision& d, double now, TracePoint& tp) {
+    tp.degraded = tp.degraded || d.degraded;
+    if (!d.reconfigure) {
+      if (failing_since >= 0.0 && d.state == HealthState::kHealthy) {
+        // The full search no longer needs the failed switch: recovered.
+        metrics.recovery_latency_s += now - failing_since;
+        ++metrics.recoveries;
+        failing_since = -1.0;
+      }
+      return;
+    }
+    if (d.retry) ++metrics.reconfig_retries;
+    const ReconfigOutcome out = injector.attempt_reconfig(d.reconfig_ms);
+    if (out.slowed) ++metrics.slow_reconfigs;
+    // The accelerator is dark during the attempt, success or not: backlog
+    // waits.
+    server_free = std::max(server_free, now) + out.dead_ms / 1e3;
+    dark_until = server_free;
+    metrics.dead_time_s += out.dead_ms / 1e3;
+    if (out.success) {
+      ++metrics.reconfigurations;
+      tp.reconfigured = true;
+      manager.complete_reconfig(true, now);
+      if (failing_since >= 0.0) {
+        metrics.recovery_latency_s += now - failing_since;
+        ++metrics.recoveries;
+        failing_since = -1.0;
+      }
+    } else {
+      ++metrics.reconfig_failures;
+      tp.reconfig_failed = true;
+      manager.complete_reconfig(false, now);
+      if (failing_since < 0.0) failing_since = now;
+      if (policy.backoff.on_failure == FailurePolicy::kBlockRetry) {
+        // No fallback: serving stays dark until the next retry opportunity.
+        const double block_until = now + scenario.sample_period_s;
+        if (block_until > server_free) {
+          metrics.dead_time_s += block_until - server_free;
+          server_free = block_until;
+          dark_until = server_free;
+        }
+      }
+    }
+  };
+
   std::size_t ai = 0;
   while (ai < arrivals.size() || next_sample < scenario.duration_s) {
     const double next_arrival =
         ai < arrivals.size() ? arrivals[ai] : scenario.duration_s + 1.0;
     if (next_sample < next_arrival && next_sample < scenario.duration_s) {
       // Sampling tick: measure and maybe adapt.
+      const double now = next_sample;
       const LibraryEntry& before = manager.current();
-      account_energy(next_sample, before);
-      const WorkloadMonitor::Sample ws =
-          monitor.sample(scenario.sample_period_s);
-      // Re-search only when the monitor flags a workload change.
-      Decision d;
-      if (ws.flagged) d = manager.select(ws.rate_ips);
-      const LibraryEntry& entry = manager.current();
-      if (d.reconfigure) {
-        ++metrics.reconfigurations;
-        // The accelerator is dark during reconfiguration: backlog waits.
-        server_free = std::max(server_free, next_sample) +
-                      d.reconfig_ms / 1e3;
-      }
+      account_energy(now, before);
+
       TracePoint tp;
-      tp.time_s = next_sample;
+      tp.time_s = now;
+
+      // Injected transient stall: the accelerator goes dark for a window.
+      if (injector.draw_stall()) {
+        ++metrics.stalls;
+        server_free = std::max(server_free, now) +
+                      scenario.faults.stall_duration_s;
+        dark_until = server_free;
+        metrics.dead_time_s += scenario.faults.stall_duration_s;
+      }
+
+      // A monitor sample delayed at the previous tick arrives now.
+      if (has_delayed) {
+        has_delayed = false;
+        Decision d = manager.select(delayed_rate, now);
+        apply_decision(d, now, tp);
+      }
+
+      WorkloadMonitor::Sample ws = monitor.sample(scenario.sample_period_s);
       tp.measured_ips = ws.rate_ips;
+      const bool drop = injector.draw_monitor_drop();
+      const bool delay = injector.draw_monitor_delay();
+      // A pending retry fires on its backoff/cooldown schedule even when
+      // the workload is quiet.
+      const bool must_probe = manager.state() != HealthState::kHealthy &&
+                              now + 1e-12 >= manager.next_retry_s();
+      if (drop) {
+        // The measurement never reaches the manager.
+        ++metrics.monitor_dropped;
+        ws.flagged = false;
+      } else if (delay && ws.flagged) {
+        ++metrics.monitor_delayed;
+        has_delayed = true;
+        delayed_rate = ws.rate_ips;
+        ws.flagged = false;
+      }
+      if (ws.flagged) {
+        Decision d = manager.select(ws.rate_ips, now);
+        apply_decision(d, now, tp);
+      } else if (must_probe) {
+        Decision d = manager.select(monitor.last_flagged_rate(), now);
+        apply_decision(d, now, tp);
+      }
+
+      // Watchdog: no completions for watchdog_periods despite backlog —
+      // serving is wedged (fault pile-up); force recovery. The soft reset
+      // flushes the wedged accelerator, cancels its remaining scheduled
+      // dark time, and lets the manager probe immediately.
+      if (metrics.served != last_served) {
+        last_served = metrics.served;
+        stagnant_ticks = 0;
+      } else if (server_free > now) {
+        ++stagnant_ticks;
+        if (stagnant_ticks >= scenario.watchdog_periods) {
+          ++metrics.watchdog_recoveries;
+          tp.watchdog_fired = true;
+          const double cancelled_dark = std::max(0.0, dark_until - now);
+          metrics.dead_time_s -=
+              std::min(cancelled_dark, metrics.dead_time_s);
+          dark_until = now;
+          server_free = now;
+          busy_until = std::min(busy_until, server_free);
+          manager.force_probe();
+          stagnant_ticks = 0;
+        }
+      }
+
+      // SLO accounting: a sampling period with any dropped request.
+      if (metrics.dropped > dropped_at_last_tick) ++metrics.slo_violations;
+      dropped_at_last_tick = metrics.dropped;
+      if (manager.state() != HealthState::kHealthy) {
+        metrics.degraded_time_s += scenario.sample_period_s;
+      }
+
+      const LibraryEntry& entry = manager.current();
       tp.prune_rate_pct = entry.prune_rate_pct;
       tp.conf_threshold_pct = entry.conf_threshold_pct;
       tp.entry_accuracy = entry.accuracy;
-      tp.reconfigured = d.reconfigure;
+      tp.health = manager.state();
       metrics.trace.push_back(tp);
       next_sample += scenario.sample_period_s;
       continue;
@@ -130,6 +328,9 @@ EdgeMetrics simulate_edge(const Library& library, const RuntimePolicy& policy,
           ? static_cast<double>(metrics.served) / metrics.offered
           : 0.0;
   metrics.qoe = metrics.accuracy * served_fraction;
+  metrics.availability_pct =
+      100.0 *
+      std::max(0.0, 1.0 - metrics.dead_time_s / scenario.duration_s);
   return metrics;
 }
 
@@ -138,6 +339,7 @@ EdgeMetrics simulate_edge_runs(const Library& library,
                                const EdgeScenario& scenario, int runs) {
   ADAPEX_CHECK(runs > 0, "need at least one run");
   EdgeMetrics total;
+  total.availability_pct = 0.0;  // accumulator; the default is 100
   for (int r = 0; r < runs; ++r) {
     EdgeScenario sc = scenario;
     sc.seed = scenario.seed + static_cast<std::uint64_t>(r);
@@ -155,6 +357,19 @@ EdgeMetrics simulate_edge_runs(const Library& library,
     total.edp += m.edp;
     total.qoe += m.qoe;
     total.reconfigurations += m.reconfigurations;
+    total.reconfig_failures += m.reconfig_failures;
+    total.reconfig_retries += m.reconfig_retries;
+    total.slow_reconfigs += m.slow_reconfigs;
+    total.stalls += m.stalls;
+    total.monitor_dropped += m.monitor_dropped;
+    total.monitor_delayed += m.monitor_delayed;
+    total.watchdog_recoveries += m.watchdog_recoveries;
+    total.recoveries += m.recoveries;
+    total.recovery_latency_s += m.recovery_latency_s;
+    total.degraded_time_s += m.degraded_time_s;
+    total.dead_time_s += m.dead_time_s;
+    total.availability_pct += m.availability_pct;
+    total.slo_violations += m.slo_violations;
   }
   const double inv = 1.0 / runs;
   total.inference_loss_pct *= inv;
@@ -165,6 +380,12 @@ EdgeMetrics simulate_edge_runs(const Library& library,
   total.energy_per_inf_j *= inv;
   total.edp *= inv;
   total.qoe *= inv;
+  // Per-episode averages for the time-based robustness metrics; the event
+  // counters stay totals (recovery_latency_s / recoveries is still the mean
+  // recovery latency).
+  total.degraded_time_s *= inv;
+  total.dead_time_s *= inv;
+  total.availability_pct *= inv;
   return total;
 }
 

@@ -9,9 +9,19 @@
 // The Runtime Manager samples the measured arrival rate periodically and
 // may switch the operating point.
 //
+// The simulation also exercises the failure modes the paper leaves out:
+// `EdgeScenario::faults` injects reconfiguration failures/slowdowns,
+// transient accelerator stalls, and monitor dropouts (runtime/faults.hpp),
+// all deterministic for a fixed seed; a watchdog detects serving stalls (no
+// completions for `watchdog_periods` sampling periods despite backlog) and
+// forces recovery. With every fault probability at zero the episode is
+// byte-identical to the fault-free simulation.
+//
 // Metrics mirror Table I and Figure 6: inference loss %, delivered
 // accuracy, average latency, average power, energy, EDP, and QoE
-// (accuracy x fraction of processed frames).
+// (accuracy x fraction of processed frames) — plus robustness
+// observability: failed/retried reconfigurations, degraded time, recovery
+// latency, availability, and SLO violations.
 
 #pragma once
 
@@ -19,6 +29,7 @@
 #include <vector>
 
 #include "edge/workload.hpp"
+#include "runtime/faults.hpp"
 #include "runtime/manager.hpp"
 
 namespace adapex {
@@ -47,9 +58,21 @@ struct EdgeScenario {
   double spike_duration_s = 5.0;
   double spike_multiplier = 2.0;
   std::uint64_t seed = 1;
+  /// Injected fault probabilities (all zero: the fault-free paper setup).
+  FaultSpec faults;
+  /// Watchdog: sampling periods without a completed request, despite queue
+  /// occupancy, before serving is forcibly recovered.
+  int watchdog_periods = 8;
 
   double offered_ips() const { return cameras * ips_per_camera; }
 };
+
+/// Validates the scenario without throwing; one diagnostic per bad field
+/// (includes the fault-spec lint).
+analysis::LintReport lint_edge_scenario(const EdgeScenario& scenario);
+
+/// Throws ConfigError listing every violation; no-op on a valid scenario.
+void require_valid_edge_scenario(const EdgeScenario& scenario);
 
 /// One sampling-tick snapshot (drives the Figure 3 runtime trace).
 struct TracePoint {
@@ -59,6 +82,11 @@ struct TracePoint {
   int conf_threshold_pct = 0;
   double entry_accuracy = 0.0;
   bool reconfigured = false;
+  /// Robustness annotations (all default in fault-free episodes).
+  HealthState health = HealthState::kHealthy;
+  bool reconfig_failed = false;
+  bool degraded = false;
+  bool watchdog_fired = false;
 };
 
 /// Aggregated episode results.
@@ -75,7 +103,24 @@ struct EdgeMetrics {
   double energy_per_inf_j = 0.0;
   double edp = 0.0;            ///< energy_per_inf * avg_latency (J*s).
   double qoe = 0.0;            ///< accuracy * fraction served.
-  int reconfigurations = 0;
+  int reconfigurations = 0;    ///< Successful bitstream switches.
+
+  // Robustness observability (DESIGN.md "Fault model & self-healing
+  // runtime"). All zero / 100% in fault-free episodes.
+  int reconfig_failures = 0;   ///< Failed bitstream-load attempts.
+  int reconfig_retries = 0;    ///< Attempts that were retries of a failure.
+  int slow_reconfigs = 0;      ///< Loads stretched by the slow fault.
+  int stalls = 0;              ///< Injected transient accelerator stalls.
+  int monitor_dropped = 0;     ///< Monitor samples lost.
+  int monitor_delayed = 0;     ///< Monitor samples delivered a period late.
+  int watchdog_recoveries = 0; ///< Forced recoveries of wedged serving.
+  int recoveries = 0;          ///< Failure episodes that ended recovered.
+  double recovery_latency_s = 0.0; ///< Total first-failure-to-recovery time.
+  double degraded_time_s = 0.0;    ///< Time with the manager not Healthy.
+  double dead_time_s = 0.0;        ///< Accelerator dark time (reconfig
+                                   ///< attempts, stalls, blocked retries).
+  double availability_pct = 100.0; ///< 100 x (1 - dead_time / duration).
+  long slo_violations = 0;         ///< Sampling periods with >= 1 drop.
 
   std::vector<TracePoint> trace;
 };

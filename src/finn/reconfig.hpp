@@ -1,4 +1,4 @@
-// FPGA reconfiguration cost model.
+// FPGA reconfiguration cost and outcome model.
 //
 // Switching the pruning rate means loading a different accelerator
 // bitstream. The paper reports four reconfigurations taking 580 ms total on
@@ -6,12 +6,27 @@
 // resource-proportional term (bitstream size scales with configured area).
 // During a reconfiguration the accelerator serves nothing — the edge
 // simulation accounts the dead time against the request queue.
+//
+// A reconfiguration is an *attempt*, not a guarantee: real bitstream loads
+// can fail (PCAP/ICAP errors, checksum mismatches) or run long. Every
+// attempt resolves to a ReconfigOutcome; the fault-free model always
+// succeeds at the nominal time, and runtime/faults.hpp injects failures and
+// slowdowns on top of it.
 
 #pragma once
 
 #include "finn/accelerator.hpp"
 
 namespace adapex {
+
+/// Result of one bitstream-load attempt. The dead time is paid whether or
+/// not the load succeeds: a failed load still holds the accelerator dark
+/// before the error surfaces, and the previously loaded design stays active.
+struct ReconfigOutcome {
+  bool success = true;
+  bool slowed = false;   ///< Load ran long (fault-injected).
+  double dead_ms = 0.0;  ///< Accelerator dark time for this attempt.
+};
 
 /// Reconfiguration time model.
 struct ReconfigModel {
@@ -22,6 +37,13 @@ struct ReconfigModel {
 
   double time_ms(const Accelerator& acc) const {
     return base_ms + ms_per_100klut * static_cast<double>(acc.total.lut) / 1e5;
+  }
+
+  /// Fault-free attempt: always succeeds at the nominal load time.
+  ReconfigOutcome attempt(const Accelerator& acc) const {
+    ReconfigOutcome out;
+    out.dead_ms = time_ms(acc);
+    return out;
   }
 };
 

@@ -1,0 +1,89 @@
+#include "runtime/faults.hpp"
+
+#include "common/error.hpp"
+
+namespace adapex {
+
+namespace {
+
+// Stream identifiers for derive_seed: one per fault category. Values are
+// arbitrary but fixed — changing them changes every faulted episode.
+constexpr std::uint64_t kReconfigStream = 0xFA01;
+constexpr std::uint64_t kStallStream = 0xFA02;
+constexpr std::uint64_t kDropStream = 0xFA03;
+constexpr std::uint64_t kDelayStream = 0xFA04;
+
+void check_prob(analysis::LintReport& report, const char* field, double p) {
+  if (!(p >= 0.0 && p <= 1.0)) {
+    report.add("RF1", analysis::Severity::kError, "faults",
+               std::string(field) + " = " + std::to_string(p) +
+                   " is not a probability",
+               "use a value in [0, 1]");
+  }
+}
+
+}  // namespace
+
+analysis::LintReport lint_fault_spec(const FaultSpec& spec) {
+  analysis::LintReport report;
+  check_prob(report, "reconfig_fail_prob", spec.reconfig_fail_prob);
+  check_prob(report, "reconfig_slow_prob", spec.reconfig_slow_prob);
+  check_prob(report, "stall_prob", spec.stall_prob);
+  check_prob(report, "monitor_drop_prob", spec.monitor_drop_prob);
+  check_prob(report, "monitor_delay_prob", spec.monitor_delay_prob);
+  if (!(spec.reconfig_slow_factor >= 1.0)) {
+    report.add("RF2", analysis::Severity::kError, "faults",
+               "reconfig_slow_factor = " +
+                   std::to_string(spec.reconfig_slow_factor) + " is below 1",
+               "a slow load takes at least the nominal time");
+  }
+  if (!(spec.stall_duration_s >= 0.0)) {
+    report.add("RF3", analysis::Severity::kError, "faults",
+               "stall_duration_s = " + std::to_string(spec.stall_duration_s) +
+                   " is negative",
+               "use a non-negative window");
+  }
+  return report;
+}
+
+void require_valid_fault_spec(const FaultSpec& spec) {
+  const analysis::LintReport report = lint_fault_spec(spec);
+  if (report.has_errors()) throw ConfigError(report.error_message());
+}
+
+FaultInjector::FaultInjector(const FaultSpec& spec, std::uint64_t episode_seed)
+    : spec_(spec),
+      reconfig_rng_(derive_seed(episode_seed, kReconfigStream)),
+      stall_rng_(derive_seed(episode_seed, kStallStream)),
+      drop_rng_(derive_seed(episode_seed, kDropStream)),
+      delay_rng_(derive_seed(episode_seed, kDelayStream)) {
+  require_valid_fault_spec(spec);
+}
+
+ReconfigOutcome FaultInjector::attempt_reconfig(double nominal_ms) {
+  ReconfigOutcome out;
+  out.dead_ms = nominal_ms;
+  // Exactly two draws per attempt, whatever the probabilities: attempt k's
+  // failure decision depends only on (seed, k), never on which other knobs
+  // are zero.
+  const bool failed = reconfig_rng_.uniform() < spec_.reconfig_fail_prob;
+  const bool slowed = reconfig_rng_.uniform() < spec_.reconfig_slow_prob;
+  out.success = !failed;
+  out.slowed = slowed;
+  if (slowed) out.dead_ms = nominal_ms * spec_.reconfig_slow_factor;
+  return out;
+}
+
+bool FaultInjector::draw_stall() {
+  return stall_rng_.uniform() < spec_.stall_prob;
+}
+
+bool FaultInjector::draw_monitor_drop() {
+  return drop_rng_.uniform() < spec_.monitor_drop_prob;
+}
+
+bool FaultInjector::draw_monitor_delay() {
+  return delay_rng_.uniform() < spec_.monitor_delay_prob;
+}
+
+}  // namespace adapex

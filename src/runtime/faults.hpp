@@ -1,0 +1,86 @@
+// Deterministic fault injection for the runtime layer.
+//
+// Edge deployments miss the happy path in ways the paper's Runtime Manager
+// never sees: bitstream loads fail or run long, the accelerator wedges for a
+// transient window, workload telemetry gets dropped or delayed. The
+// FaultInjector models those events as independent Bernoulli processes, one
+// per fault category, each driven by its own splitmix64-derived RNG stream
+// seeded from the episode seed. Independent streams make experiments
+// composable: raising the stall probability cannot perturb the sequence of
+// reconfiguration-failure decisions, and an episode replays byte-identically
+// for a fixed (spec, seed) pair. With every probability at zero the injector
+// draws nothing and the simulation is exactly the fault-free one.
+
+#pragma once
+
+#include <cstdint>
+
+#include "analysis/diagnostics.hpp"
+#include "common/rng.hpp"
+#include "finn/reconfig.hpp"
+
+namespace adapex {
+
+/// Fault probabilities and shapes for one episode. All probabilities are
+/// per-opportunity: reconfiguration faults per attempt, the others per
+/// manager sampling period.
+struct FaultSpec {
+  /// A reconfiguration attempt fails: the bitstream does not load, the dead
+  /// time is still paid, and the previously loaded accelerator stays active.
+  double reconfig_fail_prob = 0.0;
+  /// A successful reconfiguration runs long by `reconfig_slow_factor`.
+  double reconfig_slow_prob = 0.0;
+  double reconfig_slow_factor = 4.0;
+  /// Transient accelerator stall: serving stops for `stall_duration_s`.
+  double stall_prob = 0.0;
+  double stall_duration_s = 1.0;
+  /// Monitor sample lost (the manager sees nothing this period).
+  double monitor_drop_prob = 0.0;
+  /// Monitor sample arrives one period late.
+  double monitor_delay_prob = 0.0;
+
+  /// True when any fault can actually fire.
+  bool any() const {
+    return reconfig_fail_prob > 0.0 || reconfig_slow_prob > 0.0 ||
+           stall_prob > 0.0 || monitor_drop_prob > 0.0 ||
+           monitor_delay_prob > 0.0;
+  }
+};
+
+/// Validates the spec without throwing; one diagnostic per bad field (the
+/// aggregated-report pattern of src/analysis).
+analysis::LintReport lint_fault_spec(const FaultSpec& spec);
+
+/// Throws ConfigError listing every violation; no-op on a valid spec.
+void require_valid_fault_spec(const FaultSpec& spec);
+
+/// Draws fault events for one episode. Each category owns an independent
+/// RNG stream derived from the episode seed, so decisions in one category
+/// are a pure function of (seed, opportunity ordinal) in that category.
+class FaultInjector {
+ public:
+  FaultInjector(const FaultSpec& spec, std::uint64_t episode_seed);
+
+  /// Resolves one reconfiguration attempt with nominal dead time
+  /// `nominal_ms`. The dead time is paid whether or not the load succeeds;
+  /// slow loads stretch it by the spec's factor.
+  ReconfigOutcome attempt_reconfig(double nominal_ms);
+
+  /// Does the accelerator stall for a transient window this period?
+  bool draw_stall();
+
+  /// Is this period's monitor sample dropped / delayed?
+  bool draw_monitor_drop();
+  bool draw_monitor_delay();
+
+  const FaultSpec& spec() const { return spec_; }
+
+ private:
+  FaultSpec spec_;
+  Rng reconfig_rng_;
+  Rng stall_rng_;
+  Rng drop_rng_;
+  Rng delay_rng_;
+};
+
+}  // namespace adapex

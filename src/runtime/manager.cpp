@@ -1,8 +1,18 @@
 #include "runtime/manager.hpp"
 
 #include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
 
 namespace adapex {
+
+namespace {
+
+// Stream identifier for the backoff-jitter splitmix64 stream.
+constexpr std::uint64_t kJitterStream = 0xB0FF;
+
+}  // namespace
 
 const char* to_string(AdaptPolicy p) {
   switch (p) {
@@ -14,8 +24,88 @@ const char* to_string(AdaptPolicy p) {
   return "?";
 }
 
-RuntimeManager::RuntimeManager(const Library& library, RuntimePolicy policy)
-    : library_(&library), policy_(policy) {
+const char* to_string(HealthState s) {
+  switch (s) {
+    case HealthState::kHealthy: return "healthy";
+    case HealthState::kReconfigPending: return "reconfig-pending";
+    case HealthState::kBackoff: return "backoff";
+    case HealthState::kDegraded: return "degraded";
+  }
+  return "?";
+}
+
+const char* to_string(FailurePolicy p) {
+  switch (p) {
+    case FailurePolicy::kGracefulDegrade: return "graceful-degrade";
+    case FailurePolicy::kBlockRetry: return "block-retry";
+  }
+  return "?";
+}
+
+analysis::LintReport lint_runtime_policy(const RuntimePolicy& policy) {
+  analysis::LintReport report;
+  auto bad = [&](const char* rule, const std::string& message,
+                 const std::string& hint) {
+    report.add(rule, analysis::Severity::kError, "runtime-policy", message,
+               hint);
+  };
+  if (!(policy.max_accuracy_loss >= 0.0 && policy.max_accuracy_loss <= 1.0)) {
+    bad("RP1",
+        "max_accuracy_loss = " + std::to_string(policy.max_accuracy_loss) +
+            " is outside [0, 1]",
+        "express the accuracy budget as a fraction");
+  }
+  if (!(policy.ips_headroom > 0.0)) {
+    bad("RP2",
+        "ips_headroom = " + std::to_string(policy.ips_headroom) +
+            " is not positive",
+        "use a multiplier >= 1 to leave drain margin");
+  }
+  const BackoffPolicy& b = policy.backoff;
+  if (!(b.initial_s > 0.0)) {
+    bad("RP3", "backoff.initial_s = " + std::to_string(b.initial_s) +
+                   " is not positive",
+        "the first retry needs a positive delay");
+  }
+  if (!(b.multiplier >= 1.0)) {
+    bad("RP4", "backoff.multiplier = " + std::to_string(b.multiplier) +
+                   " is below 1",
+        "exponential backoff must not shrink");
+  }
+  if (!(b.max_s >= b.initial_s)) {
+    bad("RP5", "backoff.max_s = " + std::to_string(b.max_s) +
+                   " is below backoff.initial_s",
+        "the cap must cover the first delay");
+  }
+  if (!(b.jitter >= 0.0 && b.jitter < 1.0)) {
+    bad("RP6", "backoff.jitter = " + std::to_string(b.jitter) +
+                   " is outside [0, 1)",
+        "jitter is a +- fraction of the delay");
+  }
+  if (b.degrade_after < 1) {
+    bad("RP7", "backoff.degrade_after = " + std::to_string(b.degrade_after) +
+                   " is below 1",
+        "at least one failure must precede Degraded");
+  }
+  if (!(b.probe_cooldown_s >= 0.0)) {
+    bad("RP8", "backoff.probe_cooldown_s = " +
+                   std::to_string(b.probe_cooldown_s) + " is negative",
+        "use a non-negative cooldown");
+  }
+  return report;
+}
+
+void require_valid_runtime_policy(const RuntimePolicy& policy) {
+  const analysis::LintReport report = lint_runtime_policy(policy);
+  if (report.has_errors()) throw ConfigError(report.error_message());
+}
+
+RuntimeManager::RuntimeManager(const Library& library, RuntimePolicy policy,
+                               std::uint64_t seed)
+    : library_(&library),
+      policy_(policy),
+      jitter_state_(derive_seed(seed, kJitterStream)) {
+  require_valid_runtime_policy(policy);
   ADAPEX_CHECK(!library.entries.empty(), "empty library");
   for (std::size_t i = 0; i < library.entries.size(); ++i) {
     const LibraryEntry& e = library.entries[i];
@@ -42,13 +132,21 @@ RuntimeManager::RuntimeManager(const Library& library, RuntimePolicy policy)
   ADAPEX_CHECK(!eligible_.empty(),
                std::string("library has no entries for policy ") +
                    to_string(policy.policy));
-  // Start from the most accurate eligible point (low workload assumption).
-  select(0.0);
 }
 
-Decision RuntimeManager::select(double workload_ips) {
+int RuntimeManager::search(double workload_ips, bool restricted) const {
   const double min_accuracy =
       library_->reference_accuracy * (1.0 - policy_.max_accuracy_loss);
+  // Degraded mode: only points on the loaded bitstream (free CT switches).
+  const int active_accel =
+      restricted
+          ? library_->entries[static_cast<std::size_t>(current_index_)].accel_id
+          : -1;
+  auto allowed = [&](int idx) {
+    return !restricted ||
+           library_->entries[static_cast<std::size_t>(idx)].accel_id ==
+               active_accel;
+  };
 
   // Paper rule: among entries above the accuracy threshold with sufficient
   // throughput, pick the most accurate (ties: least energy). If nothing
@@ -62,6 +160,7 @@ Decision RuntimeManager::select(double workload_ips) {
     return a.energy_per_inf_j < b.energy_per_inf_j;
   };
   for (int idx : eligible_) {
+    if (!allowed(idx)) continue;
     const LibraryEntry& e = library_->entries[static_cast<std::size_t>(idx)];
     if (e.accuracy < min_accuracy) continue;
     const bool feasible = e.ips >= workload_ips * policy_.ips_headroom;
@@ -84,8 +183,9 @@ Decision RuntimeManager::select(double workload_ips) {
   }
   if (best < 0) {
     // Nothing clears the accuracy bar: degrade gracefully to the most
-    // accurate eligible entry.
+    // accurate allowed entry.
     for (int idx : eligible_) {
+      if (!allowed(idx)) continue;
       if (best < 0 ||
           better(library_->entries[static_cast<std::size_t>(idx)],
                  library_->entries[static_cast<std::size_t>(best)])) {
@@ -93,27 +193,107 @@ Decision RuntimeManager::select(double workload_ips) {
       }
     }
   }
+  ADAPEX_ASSERT(best >= 0);
+  return best;
+}
 
-  Decision decision;
-  decision.entry_index = best;
+Decision RuntimeManager::select(double workload_ips, double now_s) {
+  // A caller that never reports outcomes (the pre-fault fire-and-forget
+  // protocol) implies the previous switch took effect.
+  if (state_ == HealthState::kReconfigPending) {
+    state_ = HealthState::kHealthy;
+    consecutive_failures_ = 0;
+    loaded_index_ = current_index_;
+  }
+
+  const bool failing = state_ == HealthState::kBackoff ||
+                       state_ == HealthState::kDegraded;
+  // kBlockRetry never degrades: every opportunity is a retry window.
+  const bool retry_window =
+      failing && (policy_.backoff.on_failure == FailurePolicy::kBlockRetry ||
+                  now_s + 1e-12 >= next_retry_s_);
+  const bool restricted = failing && !retry_window;
+
+  const int best = search(workload_ips, restricted);
+
+  Decision d;
+  d.attempted_index = best;
+  d.degraded = restricted;
+
   const bool accel_changed =
       current_index_ < 0 ||
       library_->entries[static_cast<std::size_t>(best)].accel_id !=
           library_->entries[static_cast<std::size_t>(current_index_)].accel_id;
-  decision.reconfigure = current_index_ >= 0 && accel_changed;
-  if (decision.reconfigure) {
-    decision.reconfig_ms =
+  d.reconfigure = current_index_ >= 0 && accel_changed;
+  if (d.reconfigure) {
+    d.reconfig_ms =
         library_
             ->accelerator(
                 library_->entries[static_cast<std::size_t>(best)].accel_id)
             .reconfig_ms;
+    d.retry = consecutive_failures_ > 0;
+    loaded_index_ = current_index_;
+    // Optimistic commit: complete_reconfig(false) rolls back to the loaded
+    // bitstream; success (or silence) confirms it.
+    current_index_ = best;
+    state_ = HealthState::kReconfigPending;
+  } else {
+    current_index_ = best;
+    if (current_index_ >= 0 && loaded_index_ < 0) loaded_index_ = best;
+    if (failing && retry_window) {
+      // The full search no longer wants another accelerator: the failed
+      // switch became moot, so the manager is healthy again.
+      state_ = HealthState::kHealthy;
+      consecutive_failures_ = 0;
+      next_retry_s_ = 0.0;
+    }
   }
-  current_index_ = best;
-  return decision;
+  d.entry_index = current_index_;
+  d.state = state_;
+  return d;
 }
 
+void RuntimeManager::complete_reconfig(bool success, double now_s) {
+  ADAPEX_CHECK(state_ == HealthState::kReconfigPending,
+               "complete_reconfig without a pending reconfiguration");
+  if (success) {
+    state_ = HealthState::kHealthy;
+    consecutive_failures_ = 0;
+    next_retry_s_ = 0.0;
+    loaded_index_ = current_index_;
+    return;
+  }
+  // The bitstream never changed: roll back to the loaded operating point.
+  current_index_ = loaded_index_;
+  ++consecutive_failures_;
+  const BackoffPolicy& b = policy_.backoff;
+  if (b.on_failure == FailurePolicy::kBlockRetry) {
+    state_ = HealthState::kBackoff;
+    next_retry_s_ = now_s;  // retry at the next opportunity
+    return;
+  }
+  if (consecutive_failures_ >= b.degrade_after) {
+    state_ = HealthState::kDegraded;
+    next_retry_s_ = now_s + b.probe_cooldown_s;
+  } else {
+    // Capped exponential delay with deterministic jitter in [1-j, 1+j].
+    double delay = b.initial_s;
+    for (int i = 1; i < consecutive_failures_; ++i) delay *= b.multiplier;
+    delay = std::min(delay, b.max_s);
+    const double u =
+        static_cast<double>(splitmix64_next(jitter_state_) >> 11) * 0x1.0p-53;
+    delay *= 1.0 + b.jitter * (2.0 * u - 1.0);
+    state_ = HealthState::kBackoff;
+    next_retry_s_ = now_s + delay;
+  }
+}
+
+void RuntimeManager::force_probe() { next_retry_s_ = 0.0; }
+
 const LibraryEntry& RuntimeManager::current() const {
-  ADAPEX_CHECK(current_index_ >= 0, "no operating point selected yet");
+  ADAPEX_CHECK(current_index_ >= 0,
+               "RuntimeManager::current() called before the first select() "
+               "chose an operating point — call select(workload_ips) first");
   return library_->entries[static_cast<std::size_t>(current_index_)];
 }
 

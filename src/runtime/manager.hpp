@@ -11,12 +11,35 @@
 // space: PR-Only sees only the no-exit models (adapts pruning only),
 // CT-Only sees only the unpruned early-exit model (adapts the threshold
 // only), and static FINN is pinned to the unpruned no-exit model.
+//
+// Beyond the paper's happy path, the manager is an explicit resilience
+// state machine over reconfiguration outcomes:
+//
+//           select() proposes accel switch
+//   Healthy ───────────────────────────────► ReconfigPending
+//      ▲                                          │
+//      │ complete_reconfig(success)               │ complete_reconfig(fail)
+//      ◄──────────────────────────────────────────┤
+//      │                                          ▼
+//      │        retry fails `degrade_after` times
+//      │   Backoff ───────────────────────────► Degraded
+//      │      │  capped exponential backoff        │ cooldown-gated probes
+//      └──────┴────────── probe succeeds ──────────┘
+//
+// While in Backoff/Degraded the manager does not block: it gracefully
+// degrades to confidence-threshold-only adaptation on the currently loaded
+// bitstream (the CT-Only search restricted to the active accelerator) and
+// only re-proposes a reconfiguration when the backoff timer / probe
+// cooldown expires. Backoff delays get deterministic jitter from a
+// splitmix64-derived stream so retries desynchronize reproducibly.
 
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
+#include "analysis/diagnostics.hpp"
 #include "library/library.hpp"
 
 namespace adapex {
@@ -31,6 +54,42 @@ enum class AdaptPolicy {
 
 const char* to_string(AdaptPolicy p);
 
+/// Resilience states of the manager (see the diagram above).
+enum class HealthState {
+  kHealthy,         ///< Last reconfiguration (if any) succeeded.
+  kReconfigPending, ///< A proposed accelerator switch awaits its outcome.
+  kBackoff,         ///< Recent failure; retrying with exponential backoff.
+  kDegraded,        ///< Failure latched; cooldown-gated probes only.
+};
+
+const char* to_string(HealthState s);
+
+/// What the manager does while a reconfiguration keeps failing.
+enum class FailurePolicy {
+  /// Serve on the loaded bitstream with CT-only adaptation between retries.
+  kGracefulDegrade,
+  /// No fallback: retry at every opportunity; the accelerator stays dark
+  /// until a load succeeds (the happy-path assumption made explicit — used
+  /// as the baseline in bench_robustness).
+  kBlockRetry,
+};
+
+const char* to_string(FailurePolicy p);
+
+/// Retry schedule for failed reconfigurations.
+struct BackoffPolicy {
+  FailurePolicy on_failure = FailurePolicy::kGracefulDegrade;
+  double initial_s = 0.5;  ///< Delay after the first failure.
+  double multiplier = 2.0; ///< Growth per consecutive failure.
+  double max_s = 8.0;      ///< Delay cap.
+  /// Deterministic jitter: each delay is scaled by 1 +- U(jitter).
+  double jitter = 0.25;
+  /// Consecutive failures that latch kDegraded.
+  int degrade_after = 3;
+  /// Minimum spacing of reconfiguration probes while kDegraded.
+  double probe_cooldown_s = 5.0;
+};
+
 /// Runtime configuration.
 struct RuntimePolicy {
   AdaptPolicy policy = AdaptPolicy::kAdaPEx;
@@ -41,34 +100,84 @@ struct RuntimePolicy {
   /// least `ips_headroom` times the measured workload, so the queue built
   /// up during a reconfiguration can drain afterwards.
   double ips_headroom = 1.10;
+  /// Self-healing behaviour on reconfiguration failure.
+  BackoffPolicy backoff{};
 };
+
+/// Validates a policy without throwing; one diagnostic per bad field.
+analysis::LintReport lint_runtime_policy(const RuntimePolicy& policy);
+
+/// Throws ConfigError listing every violation; no-op on a valid policy.
+void require_valid_runtime_policy(const RuntimePolicy& policy);
 
 /// The manager's reaction to a workload sample.
 struct Decision {
-  int entry_index = -1;      ///< Into Library::entries.
-  bool reconfigure = false;  ///< Accelerator (bitstream) changed.
+  int entry_index = -1;      ///< Active entry after the decision.
+  /// The entry the manager tried to move to. Equal to entry_index on
+  /// success; on a failed reconfiguration it keeps naming the target so
+  /// traces stay interpretable.
+  int attempted_index = -1;
+  bool reconfigure = false;  ///< Accelerator (bitstream) change proposed.
   double reconfig_ms = 0.0;
+  /// True when this attempt is a retry of an earlier failed switch.
+  bool retry = false;
+  /// The search was restricted to the loaded bitstream (CT-only fallback).
+  bool degraded = false;
+  HealthState state = HealthState::kHealthy;  ///< State after the decision.
 };
 
 /// Searches the library on workload changes and tracks the active point.
 class RuntimeManager {
  public:
-  RuntimeManager(const Library& library, RuntimePolicy policy);
+  /// `seed` drives only the backoff jitter stream; two managers with the
+  /// same seed produce identical retry schedules.
+  RuntimeManager(const Library& library, RuntimePolicy policy,
+                 std::uint64_t seed = 0);
 
   /// Re-evaluates the operating point for the measured workload (IPS).
-  Decision select(double workload_ips);
+  /// `now_s` is the caller's clock, used to gate retries; callers that
+  /// never report failures (the paper's happy path) may omit it.
+  Decision select(double workload_ips, double now_s = 0.0);
 
+  /// Reports the outcome of the reconfiguration proposed by the last
+  /// select(). On failure the active entry rolls back to the loaded
+  /// bitstream and the retry schedule engages. A caller that never reports
+  /// (fire-and-forget, the pre-fault behaviour) is treated as success on
+  /// its next select().
+  void complete_reconfig(bool success, double now_s);
+
+  /// Clears any retry gate so the next select() may probe immediately
+  /// (the edge watchdog's recovery hammer).
+  void force_probe();
+
+  /// Active operating point. Throws Error with a clear message when called
+  /// before the first select() has chosen one.
   const LibraryEntry& current() const;
+  bool has_selection() const { return current_index_ >= 0; }
+
   const Library& library() const { return *library_; }
+
+  HealthState state() const { return state_; }
+  int consecutive_failures() const { return consecutive_failures_; }
+  /// Earliest time select() will re-propose a reconfiguration; 0 when no
+  /// retry is pending.
+  double next_retry_s() const { return next_retry_s_; }
 
   /// Entry indices this policy may use (exposed for tests/benches).
   const std::vector<int>& eligible() const { return eligible_; }
 
  private:
+  int search(double workload_ips, bool restricted) const;
+
   const Library* library_;
   RuntimePolicy policy_;
   std::vector<int> eligible_;
   int current_index_ = -1;
+  int loaded_index_ = -1;  ///< Entry on the loaded bitstream during pending.
+  HealthState state_ = HealthState::kHealthy;
+  int consecutive_failures_ = 0;
+  double next_retry_s_ = 0.0;
+  std::uint64_t jitter_state_;  ///< splitmix64 stream for backoff jitter.
 };
 
 }  // namespace adapex
