@@ -6,6 +6,12 @@
 // QoE: cheap reconfiguration lets the manager track the workload closely;
 // expensive reconfiguration makes every pruning-rate switch hurt, shrinking
 // AdaPEx's margin over CT-Only (which never reconfigures).
+//
+// The same cost also prices soft-error recovery: a drift-triggered
+// bitstream reload (see DESIGN.md "Soft-error model & mitigation") pays
+// reconfig_ms of dark time. The seu_* columns rerun each cost point with a
+// fixed unmitigated upset rate, showing how recovery-by-reload gets more
+// expensive as reconfiguration slows.
 
 #include "common.hpp"
 
@@ -22,7 +28,13 @@ int main() {
 
   TextTable table({"reconfig_scale", "reconfig_ms", "adapex_loss_pct",
                    "adapex_qoe_pct", "reconfigs_per_run", "failed_per_run",
-                   "availability_pct", "ct_only_qoe_pct"});
+                   "availability_pct", "ct_only_qoe_pct", "seu_reloads_per_run",
+                   "seu_qoe_pct", "seu_avail_pct"});
+  // SEU companion sweep: a fixed unmitigated upset rate whose recovery
+  // reloads pay the swept reconfiguration cost.
+  EdgeScenario seu_scenario = scenario;
+  seu_scenario.faults.seu_weight_prob = 0.05;
+  seu_scenario.faults.seu_config_prob = 0.05;
   const auto ct_only =
       simulate_edge_runs(lib, {AdaptPolicy::kCtOnly, 0.10}, scenario, kRuns);
   for (double mult : {0.0, 0.5, 1.0, 2.0, 5.0, 10.0}) {
@@ -34,6 +46,8 @@ int main() {
     }
     const auto m = simulate_edge_runs(scaled, {AdaptPolicy::kAdaPEx, 0.10},
                                       scenario, kRuns);
+    const auto seu = simulate_edge_runs(scaled, {AdaptPolicy::kAdaPEx, 0.10},
+                                        seu_scenario, kRuns);
     // The failure columns report zero here (the scenario injects no
     // faults); they make the cost sweep comparable to bench_robustness.
     table.add_row({TextTable::num(mult, 1), TextTable::num(ms, 0),
@@ -46,7 +60,11 @@ int main() {
                                       kRuns,
                                   1),
                    TextTable::num(m.availability_pct, 2),
-                   TextTable::num(ct_only.qoe * 100.0, 2)});
+                   TextTable::num(ct_only.qoe * 100.0, 2),
+                   TextTable::num(static_cast<double>(seu.seu_reloads) / kRuns,
+                                  1),
+                   TextTable::num(seu.qoe * 100.0, 2),
+                   TextTable::num(seu.availability_pct, 2)});
   }
   emit(table, "ablation_reconfig");
   return 0;

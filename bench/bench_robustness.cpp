@@ -130,19 +130,12 @@ int main(int argc, char** argv) {
                      TextTable::num(m.reconfig_retries / double(runs), 1),
                      TextTable::num(m.watchdog_recoveries / double(runs), 1),
                      TextTable::num(m.degraded_time_s, 2)});
-      Json p = Json::object();
+      // Full metric dump via the finiteness-checked writer, plus the sweep
+      // coordinates of this point.
+      Json p = m.to_json();
       p["reconfig_fail_prob"] = prob;
       p["policy"] = to_string(fp);
-      p["qoe"] = m.qoe;
-      p["availability_pct"] = m.availability_pct;
-      p["inference_loss_pct"] = m.inference_loss_pct;
-      p["accuracy"] = m.accuracy;
-      p["reconfig_failures"] = m.reconfig_failures;
-      p["reconfig_retries"] = m.reconfig_retries;
-      p["watchdog_recoveries"] = m.watchdog_recoveries;
-      p["degraded_time_s"] = m.degraded_time_s;
-      p["dead_time_s"] = m.dead_time_s;
-      points.push_back(p);
+      points.push_back(std::move(p));
       qoe_by_policy[i] = m.qoe;
       avail_by_policy[i] = m.availability_pct;
       ++i;

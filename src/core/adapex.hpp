@@ -29,6 +29,7 @@
 #include "data/dataset.hpp"
 #include "edge/simulation.hpp"
 #include "finn/accelerator.hpp"
+#include "finn/mitigation.hpp"
 #include "finn/pipeline_sim.hpp"
 #include "finn/reconfig.hpp"
 #include "hls/folding.hpp"

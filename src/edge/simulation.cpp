@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iomanip>
+#include <limits>
+#include <sstream>
 
 #include "common/rng.hpp"
 #include "runtime/monitor.hpp"
@@ -15,8 +18,10 @@ namespace {
 // per-category streams).
 constexpr std::uint64_t kManagerStream = 0x4A17;
 
-/// Arrival stream from the scenario's workload pattern.
+/// Arrival stream from the scenario's workload pattern. A zero-rate fleet
+/// is a valid (ES2) degenerate episode: nothing ever arrives.
 std::vector<double> generate_arrivals(const EdgeScenario& sc) {
+  if (!(sc.offered_ips() > 0.0)) return {};
   WorkloadSpec spec;
   spec.pattern = sc.pattern;
   spec.base_ips = sc.offered_ips();
@@ -30,9 +35,9 @@ std::vector<double> generate_arrivals(const EdgeScenario& sc) {
   return model.generate_arrivals();
 }
 
-}  // namespace
-
-analysis::LintReport lint_edge_scenario(const EdgeScenario& scenario) {
+/// ES1–ES10: the scenario fields themselves, without the fault-spec merge
+/// (shared by both lint_edge_scenario overloads).
+analysis::LintReport lint_scenario_fields(const EdgeScenario& scenario) {
   analysis::LintReport report;
   auto bad = [&](const char* rule, const std::string& message,
                  const std::string& hint) {
@@ -93,7 +98,71 @@ analysis::LintReport lint_edge_scenario(const EdgeScenario& scenario) {
                     " is below 1",
         "the watchdog needs at least one stagnant period");
   }
+  return report;
+}
+
+/// Visits every scalar metric in one fixed order — the single source of
+/// truth for both the JSON and CSV writers, so the two artifacts cannot
+/// drift apart.
+template <typename Fn>
+void visit_metric_scalars(const EdgeMetrics& m, Fn&& fn) {
+  fn("offered", static_cast<double>(m.offered));
+  fn("served", static_cast<double>(m.served));
+  fn("dropped", static_cast<double>(m.dropped));
+  fn("inference_loss_pct", m.inference_loss_pct);
+  fn("accuracy", m.accuracy);
+  fn("avg_latency_ms", m.avg_latency_ms);
+  fn("avg_power_w", m.avg_power_w);
+  fn("energy_j", m.energy_j);
+  fn("energy_per_inf_j", m.energy_per_inf_j);
+  fn("edp", m.edp);
+  fn("qoe", m.qoe);
+  fn("reconfigurations", static_cast<double>(m.reconfigurations));
+  fn("reconfig_failures", static_cast<double>(m.reconfig_failures));
+  fn("reconfig_retries", static_cast<double>(m.reconfig_retries));
+  fn("slow_reconfigs", static_cast<double>(m.slow_reconfigs));
+  fn("stalls", static_cast<double>(m.stalls));
+  fn("monitor_dropped", static_cast<double>(m.monitor_dropped));
+  fn("monitor_delayed", static_cast<double>(m.monitor_delayed));
+  fn("watchdog_recoveries", static_cast<double>(m.watchdog_recoveries));
+  fn("recoveries", static_cast<double>(m.recoveries));
+  fn("recovery_latency_s", m.recovery_latency_s);
+  fn("degraded_time_s", m.degraded_time_s);
+  fn("dead_time_s", m.dead_time_s);
+  fn("availability_pct", m.availability_pct);
+  fn("slo_violations", static_cast<double>(m.slo_violations));
+  fn("seu_weight_upsets", static_cast<double>(m.seu_weight_upsets));
+  fn("seu_config_upsets", static_cast<double>(m.seu_config_upsets));
+  fn("seu_corrected", static_cast<double>(m.seu_corrected));
+  fn("seu_detected", static_cast<double>(m.seu_detected));
+  fn("seu_undetected", static_cast<double>(m.seu_undetected));
+  fn("silent_corruptions", static_cast<double>(m.silent_corruptions));
+  fn("seu_detection_latency_s", m.seu_detection_latency_s);
+  fn("drift_detections", static_cast<double>(m.drift_detections));
+  fn("seu_scrubs", static_cast<double>(m.seu_scrubs));
+  fn("seu_reloads", static_cast<double>(m.seu_reloads));
+  fn("scrub_overhead_s", m.scrub_overhead_s);
+  fn("post_recovery_accuracy", m.post_recovery_accuracy);
+}
+
+void check_metric_finite(const char* name, double value) {
+  ADAPEX_CHECK(std::isfinite(value),
+               std::string("EdgeMetrics::") + name +
+                   " is not finite — refusing to serialize");
+}
+
+}  // namespace
+
+analysis::LintReport lint_edge_scenario(const EdgeScenario& scenario) {
+  analysis::LintReport report = lint_scenario_fields(scenario);
   report.merge(lint_fault_spec(scenario.faults));
+  return report;
+}
+
+analysis::LintReport lint_edge_scenario(const EdgeScenario& scenario,
+                                        const Library& library) {
+  analysis::LintReport report = lint_scenario_fields(scenario);
+  report.merge(lint_fault_spec(scenario.faults, library));
   return report;
 }
 
@@ -102,9 +171,46 @@ void require_valid_edge_scenario(const EdgeScenario& scenario) {
   if (report.has_errors()) throw ConfigError(report.error_message());
 }
 
+void require_valid_edge_scenario(const EdgeScenario& scenario,
+                                 const Library& library) {
+  const analysis::LintReport report = lint_edge_scenario(scenario, library);
+  if (report.has_errors()) throw ConfigError(report.error_message());
+}
+
+Json EdgeMetrics::to_json() const {
+  Json j = Json::object();
+  visit_metric_scalars(*this, [&](const char* name, double value) {
+    check_metric_finite(name, value);
+    j[name] = value;
+  });
+  return j;
+}
+
+std::string EdgeMetrics::csv_header() {
+  std::string out;
+  visit_metric_scalars(EdgeMetrics{}, [&](const char* name, double) {
+    if (!out.empty()) out += ",";
+    out += name;
+  });
+  return out;
+}
+
+std::string EdgeMetrics::csv_row() const {
+  std::ostringstream os;
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
+  bool first = true;
+  visit_metric_scalars(*this, [&](const char* name, double value) {
+    check_metric_finite(name, value);
+    if (!first) os << ",";
+    os << value;
+    first = false;
+  });
+  return os.str();
+}
+
 EdgeMetrics simulate_edge(const Library& library, const RuntimePolicy& policy,
                           const EdgeScenario& scenario) {
-  require_valid_edge_scenario(scenario);
+  require_valid_edge_scenario(scenario, library);
   const std::vector<double> arrivals = generate_arrivals(scenario);
 
   RuntimeManager manager(library, policy,
@@ -148,6 +254,84 @@ EdgeMetrics simulate_edge(const Library& library, const RuntimePolicy& policy,
   bool has_delayed = false;     // a monitor sample in flight one period late
   double delayed_rate = 0.0;
 
+  // Soft-error state. All of it stays at its initial value when the SEU
+  // probabilities are zero, so the zero-rate episode is byte-identical to
+  // the pre-SEU simulation.
+  const FaultSpec& faults = scenario.faults;
+  const SeuMitigation& mit = faults.mitigation;
+  int weight_upsets_active = 0;  // uncorrected weight upsets degrading TOP-1
+  int config_wrong_active = 0;   // config upsets flipping output classes
+  int exit_corrupt_active = 0;   // config upsets corrupting exit confidence
+  bool hang_active = false;      // config upset wedging the pipeline
+  std::vector<double> undetected_weight_times;  // injection times, uncaught
+  std::vector<double> undetected_config_times;
+  double next_scrub_s = mit.scrubbing ? mit.scrub_period_s : 0.0;
+  DriftDetector detector(policy.drift);
+  const LibraryEntry* drift_expect_entry = nullptr;
+  bool had_seu_recovery = false;
+  double post_recovery_acc_sum = 0.0;
+  long post_recovery_served = 0;
+
+  auto first_exit_fraction = [](const LibraryEntry& e) {
+    return e.exit_fractions.empty() ? 1.0 : e.exit_fractions.front();
+  };
+  // Returns the entry's accuracy bit-exactly when no upset is active.
+  auto effective_accuracy = [&](const LibraryEntry& e) {
+    const int corrupting =
+        weight_upsets_active + config_wrong_active + exit_corrupt_active;
+    if (corrupting == 0) return e.accuracy;
+    const double drop =
+        weight_upsets_active * faults.seu_weight_accuracy_drop +
+        (config_wrong_active + exit_corrupt_active) *
+            faults.seu_config_accuracy_drop;
+    // Floor near chance level: upsets scramble outputs, they don't
+    // anti-correlate them.
+    return std::max(e.accuracy - drop, 0.02);
+  };
+  auto effective_first_exit = [&](const LibraryEntry& e) {
+    const double base = first_exit_fraction(e);
+    if (exit_corrupt_active == 0) return base;
+    // Stuck-high exit logits inflate early acceptance.
+    return std::min(1.0, base + exit_corrupt_active * faults.seu_exit_rate_shift);
+  };
+  auto undetected_active = [&] {
+    return undetected_weight_times.size() + undetected_config_times.size();
+  };
+  // Marks every active upset as caught, charging detection latency.
+  auto detect_active = [&](double now) {
+    for (double t0 : undetected_weight_times) {
+      metrics.seu_detection_latency_s += now - t0;
+    }
+    for (double t0 : undetected_config_times) {
+      metrics.seu_detection_latency_s += now - t0;
+    }
+    metrics.seu_detected += static_cast<int>(undetected_active());
+    undetected_weight_times.clear();
+    undetected_config_times.clear();
+  };
+  // One configuration scrub pass: repairs config-memory upsets (wrong
+  // class, exit corruption, hangs) — weight BRAMs are not configuration
+  // frames, so weight upsets survive a scrub — and charges scrub dark time.
+  auto do_scrub = [&](double now, TracePoint& tp) {
+    ++metrics.seu_scrubs;
+    tp.scrubbed = true;
+    for (double t0 : undetected_config_times) {
+      metrics.seu_detection_latency_s += now - t0;
+    }
+    metrics.seu_detected += static_cast<int>(undetected_config_times.size());
+    undetected_config_times.clear();
+    config_wrong_active = 0;
+    exit_corrupt_active = 0;
+    hang_active = false;
+    const double cost_s = mit.scrub_time_ms / 1e3;
+    metrics.scrub_overhead_s += cost_s;
+    if (cost_s > 0.0) {
+      server_free = std::max(server_free, now) + cost_s;
+      dark_until = std::max(dark_until, server_free);
+      metrics.dead_time_s += cost_s;
+    }
+  };
+
   // Resolves a manager decision: attempts the proposed reconfiguration
   // through the fault injector, reports the outcome back, and accounts dead
   // time and recovery latency.
@@ -178,6 +362,28 @@ EdgeMetrics simulate_edge(const Library& library, const RuntimePolicy& policy,
         metrics.recovery_latency_s += now - failing_since;
         ++metrics.recoveries;
         failing_since = -1.0;
+      }
+      // A successful load rewrites configuration and weight memory: every
+      // active upset is gone. Ones the detection machinery never caught
+      // were repaired incidentally — they count as undetected.
+      if (weight_upsets_active + config_wrong_active + exit_corrupt_active >
+              0 ||
+          hang_active) {
+        metrics.seu_undetected += static_cast<int>(undetected_active());
+        undetected_weight_times.clear();
+        undetected_config_times.clear();
+        weight_upsets_active = 0;
+        config_wrong_active = 0;
+        exit_corrupt_active = 0;
+        hang_active = false;
+        detector.reset();
+      }
+      if (d.reload) {
+        ++metrics.seu_reloads;
+        tp.reloaded = true;
+        had_seu_recovery = true;
+        post_recovery_acc_sum = 0.0;
+        post_recovery_served = 0;
       }
     } else {
       ++metrics.reconfig_failures;
@@ -218,6 +424,70 @@ EdgeMetrics simulate_edge(const Library& library, const RuntimePolicy& policy,
         metrics.dead_time_s += scenario.faults.stall_duration_s;
       }
 
+      // Soft-error injection: independent streams, drawn unconditionally
+      // every tick so the upset sequence depends only on (seed, tick).
+      if (injector.draw_weight_upset()) {
+        ++metrics.seu_weight_upsets;
+        tp.seu_upset = true;
+        if (mit.ecc_weights) {
+          // SECDED on the weight BRAMs corrects it on the next read.
+          ++metrics.seu_corrected;
+          ++metrics.seu_detected;
+        } else {
+          ++weight_upsets_active;
+          undetected_weight_times.push_back(now);
+        }
+      }
+      switch (injector.draw_config_upset()) {
+        case ConfigUpset::kNone:
+          break;
+        case ConfigUpset::kWrongClass:
+          ++metrics.seu_config_upsets;
+          tp.seu_upset = true;
+          ++config_wrong_active;
+          undetected_config_times.push_back(now);
+          break;
+        case ConfigUpset::kExitCorrupt:
+          ++metrics.seu_config_upsets;
+          tp.seu_upset = true;
+          if (mit.tmr_exit_heads) {
+            // The triplicated exit heads out-vote the corrupted replica.
+            ++metrics.seu_corrected;
+            ++metrics.seu_detected;
+          } else {
+            ++exit_corrupt_active;
+            undetected_config_times.push_back(now);
+          }
+          break;
+        case ConfigUpset::kHang:
+          ++metrics.seu_config_upsets;
+          tp.seu_upset = true;
+          hang_active = true;
+          undetected_config_times.push_back(now);
+          break;
+      }
+
+      // Periodic configuration scrubbing repairs config upsets on its own
+      // schedule, whether or not anything drifted.
+      if (mit.scrubbing) {
+        while (now + 1e-12 >= next_scrub_s) {
+          do_scrub(now, tp);
+          next_scrub_s += mit.scrub_period_s;
+        }
+      }
+
+      // An active hang wedges the pipeline until a repair (scrub, reload,
+      // or the watchdog escalation below): extend the dark window tick by
+      // tick.
+      if (hang_active) {
+        const double wedge_until = now + scenario.sample_period_s;
+        if (wedge_until > server_free) {
+          metrics.dead_time_s += wedge_until - std::max(server_free, now);
+          server_free = wedge_until;
+        }
+        dark_until = std::max(dark_until, server_free);
+      }
+
       // A monitor sample delayed at the previous tick arrives now.
       if (has_delayed) {
         has_delayed = false;
@@ -230,8 +500,10 @@ EdgeMetrics simulate_edge(const Library& library, const RuntimePolicy& policy,
       const bool drop = injector.draw_monitor_drop();
       const bool delay = injector.draw_monitor_delay();
       // A pending retry fires on its backoff/cooldown schedule even when
-      // the workload is quiet.
-      const bool must_probe = manager.state() != HealthState::kHealthy &&
+      // the workload is quiet. (kScrubbing has no retry to fire; pending
+      // states never persist across ticks here.)
+      const bool must_probe = (manager.state() == HealthState::kBackoff ||
+                               manager.state() == HealthState::kDegraded) &&
                               now + 1e-12 >= manager.next_retry_s();
       if (drop) {
         // The measurement never reaches the manager.
@@ -249,6 +521,38 @@ EdgeMetrics simulate_edge(const Library& library, const RuntimePolicy& policy,
       } else if (must_probe) {
         Decision d = manager.select(monitor.last_flagged_rate(), now);
         apply_decision(d, now, tp);
+      }
+
+      // Accuracy/confidence drift detection: spot-checked TOP-1 agreement
+      // and first-exit acceptance vs the Library expectations of the
+      // active entry. Fires only while the manager is not already running
+      // a failure-recovery schedule (Backoff/Degraded own the problem: the
+      // scheduled retry rewrites the bitstream anyway).
+      {
+        const LibraryEntry& cur = manager.current();
+        if (&cur != drift_expect_entry) {
+          detector.expect(cur.accuracy, first_exit_fraction(cur));
+          drift_expect_entry = &cur;
+        }
+        detector.observe(effective_accuracy(cur), effective_first_exit(cur));
+        const HealthState hs = manager.state();
+        if (detector.drifted() && (hs == HealthState::kHealthy ||
+                                   hs == HealthState::kScrubbing)) {
+          ++metrics.drift_detections;
+          tp.drift_detected = true;
+          detect_active(now);
+          Decision dd = manager.report_drift(now, mit.scrubbing);
+          if (dd.scrub) {
+            do_scrub(now, tp);
+            detector.reset();
+          } else if (dd.reconfigure) {
+            apply_decision(dd, now, tp);
+            detector.reset();
+          }
+        } else if (hs == HealthState::kScrubbing && detector.window_full()) {
+          // A full clean window after the scrub: the drift is gone.
+          manager.drift_cleared();
+        }
       }
 
       // Watchdog: no completions for watchdog_periods despite backlog —
@@ -271,6 +575,19 @@ EdgeMetrics simulate_edge(const Library& library, const RuntimePolicy& policy,
           busy_until = std::min(busy_until, server_free);
           manager.force_probe();
           stagnant_ticks = 0;
+          if (hang_active) {
+            // The wedge is a config-memory hang: a soft reset cannot clear
+            // it. Escalate — scrub when deployed, else bitstream reload.
+            detect_active(now);
+            Decision dd = manager.report_drift(now, mit.scrubbing);
+            if (dd.scrub) {
+              do_scrub(now, tp);
+              detector.reset();
+            } else if (dd.reconfigure) {
+              apply_decision(dd, now, tp);
+              detector.reset();
+            }
+          }
         }
       }
 
@@ -294,6 +611,13 @@ EdgeMetrics simulate_edge(const Library& library, const RuntimePolicy& policy,
 
     const double t = arrivals[ai++];
     monitor.on_arrival();
+    if (hang_active) {
+      // The pipeline is wedged on a config-memory hang: nothing completes
+      // until a scrub or reload repairs it (the watchdog sees the flat
+      // served count and escalates).
+      ++metrics.dropped;
+      continue;
+    }
     const LibraryEntry& entry = manager.current();
     const double service_s = 1.0 / std::max(entry.ips, 1e-9);
     const double wait_s = std::max(0.0, server_free - t);
@@ -303,12 +627,29 @@ EdgeMetrics simulate_edge(const Library& library, const RuntimePolicy& policy,
       continue;
     }
     ++metrics.served;
-    accuracy_sum += entry.accuracy;
+    const double eff_acc = effective_accuracy(entry);
+    accuracy_sum += eff_acc;
+    if (undetected_active() > 0 &&
+        weight_upsets_active + config_wrong_active + exit_corrupt_active > 0) {
+      // Served while an uncaught corrupting upset is active: the user gets
+      // a possibly-wrong answer with no warning.
+      ++metrics.silent_corruptions;
+    }
+    if (had_seu_recovery) {
+      post_recovery_acc_sum += eff_acc;
+      ++post_recovery_served;
+    }
     latency_sum_ms += wait_s * 1e3 + entry.latency_ms;
     server_free = std::max(server_free, t) + service_s;
     busy_until = server_free;
   }
   account_energy(scenario.duration_s, manager.current());
+
+  // Upsets still uncaught at episode end never got detected.
+  metrics.seu_undetected += static_cast<int>(undetected_active());
+  metrics.post_recovery_accuracy =
+      post_recovery_served > 0 ? post_recovery_acc_sum / post_recovery_served
+                               : 0.0;
 
   metrics.inference_loss_pct =
       metrics.offered > 0
@@ -319,7 +660,8 @@ EdgeMetrics simulate_edge(const Library& library, const RuntimePolicy& policy,
   metrics.avg_latency_ms =
       metrics.served > 0 ? latency_sum_ms / metrics.served : 0.0;
   metrics.energy_j = energy_j;
-  metrics.avg_power_w = energy_j / scenario.duration_s;
+  metrics.avg_power_w =
+      scenario.duration_s > 0.0 ? energy_j / scenario.duration_s : 0.0;
   metrics.energy_per_inf_j =
       metrics.served > 0 ? energy_j / metrics.served : 0.0;
   metrics.edp = metrics.energy_per_inf_j * (metrics.avg_latency_ms / 1e3);
@@ -370,6 +712,18 @@ EdgeMetrics simulate_edge_runs(const Library& library,
     total.dead_time_s += m.dead_time_s;
     total.availability_pct += m.availability_pct;
     total.slo_violations += m.slo_violations;
+    total.seu_weight_upsets += m.seu_weight_upsets;
+    total.seu_config_upsets += m.seu_config_upsets;
+    total.seu_corrected += m.seu_corrected;
+    total.seu_detected += m.seu_detected;
+    total.seu_undetected += m.seu_undetected;
+    total.silent_corruptions += m.silent_corruptions;
+    total.seu_detection_latency_s += m.seu_detection_latency_s;
+    total.drift_detections += m.drift_detections;
+    total.seu_scrubs += m.seu_scrubs;
+    total.seu_reloads += m.seu_reloads;
+    total.scrub_overhead_s += m.scrub_overhead_s;
+    total.post_recovery_accuracy += m.post_recovery_accuracy;
   }
   const double inv = 1.0 / runs;
   total.inference_loss_pct *= inv;
@@ -382,10 +736,13 @@ EdgeMetrics simulate_edge_runs(const Library& library,
   total.qoe *= inv;
   // Per-episode averages for the time-based robustness metrics; the event
   // counters stay totals (recovery_latency_s / recoveries is still the mean
-  // recovery latency).
+  // recovery latency, and seu_detection_latency_s / seu_detected the mean
+  // detection latency).
   total.degraded_time_s *= inv;
   total.dead_time_s *= inv;
   total.availability_pct *= inv;
+  total.scrub_overhead_s *= inv;
+  total.post_recovery_accuracy *= inv;
   return total;
 }
 

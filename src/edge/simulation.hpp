@@ -17,17 +17,32 @@
 // forces recovery. With every fault probability at zero the episode is
 // byte-identical to the fault-free simulation.
 //
+// Soft errors ride the same injector: per sampling tick, upsets may land in
+// weight memory (silent TOP-1 degradation) or configuration memory
+// (wrong-class outputs, exit-confidence corruption, pipeline hangs). The
+// deployed mitigations (FaultSpec::mitigation) act where real hardware
+// would: ECC corrects weight upsets on read, TMR out-votes corrupted exit
+// heads, periodic scrubbing repairs configuration memory at the cost of
+// scrub dark time, and the drift detector (runtime/monitor.hpp) catches
+// what slips through — triggering scrub-then-reload recovery through the
+// RuntimeManager's backoff machinery. At zero SEU rates none of this code
+// perturbs the episode.
+//
 // Metrics mirror Table I and Figure 6: inference loss %, delivered
 // accuracy, average latency, average power, energy, EDP, and QoE
 // (accuracy x fraction of processed frames) — plus robustness
 // observability: failed/retried reconfigurations, degraded time, recovery
-// latency, availability, and SLO violations.
+// latency, availability, SLO violations, and the soft-error ledger
+// (injected/corrected/detected/undetected upsets, silent corruptions,
+// detection latency, scrub overhead, post-recovery accuracy).
 
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "common/json.hpp"
 #include "edge/workload.hpp"
 #include "runtime/faults.hpp"
 #include "runtime/manager.hpp"
@@ -71,8 +86,15 @@ struct EdgeScenario {
 /// (includes the fault-spec lint).
 analysis::LintReport lint_edge_scenario(const EdgeScenario& scenario);
 
+/// Library-aware overload: additionally checks the scenario's mitigations
+/// against the library (RF6). simulate_edge uses this one.
+analysis::LintReport lint_edge_scenario(const EdgeScenario& scenario,
+                                        const Library& library);
+
 /// Throws ConfigError listing every violation; no-op on a valid scenario.
 void require_valid_edge_scenario(const EdgeScenario& scenario);
+void require_valid_edge_scenario(const EdgeScenario& scenario,
+                                 const Library& library);
 
 /// One sampling-tick snapshot (drives the Figure 3 runtime trace).
 struct TracePoint {
@@ -87,6 +109,11 @@ struct TracePoint {
   bool reconfig_failed = false;
   bool degraded = false;
   bool watchdog_fired = false;
+  /// Soft-error annotations (all default at zero SEU rates).
+  bool seu_upset = false;       ///< An upset was injected this tick.
+  bool drift_detected = false;  ///< The drift detector fired this tick.
+  bool scrubbed = false;        ///< A configuration scrub ran this tick.
+  bool reloaded = false;        ///< A recovery bitstream reload succeeded.
 };
 
 /// Aggregated episode results.
@@ -122,7 +149,34 @@ struct EdgeMetrics {
   double availability_pct = 100.0; ///< 100 x (1 - dead_time / duration).
   long slo_violations = 0;         ///< Sampling periods with >= 1 drop.
 
+  // Soft-error observability (DESIGN.md "Soft-error model & mitigation").
+  // All zero at zero SEU rates.
+  int seu_weight_upsets = 0;   ///< Injected weight-memory upsets.
+  int seu_config_upsets = 0;   ///< Injected config/FIFO-memory upsets.
+  int seu_corrected = 0;       ///< Masked on the spot by ECC / TMR.
+  int seu_detected = 0;        ///< Caught (ECC, TMR, scrub, drift, watchdog).
+  int seu_undetected = 0;      ///< Never caught by the detection machinery
+                               ///< (repaired incidentally or episode end).
+  long silent_corruptions = 0; ///< Requests served while an uncaught
+                               ///< corrupting upset was active.
+  double seu_detection_latency_s = 0.0; ///< Injection-to-detection, summed
+                                        ///< over non-immediate detections.
+  int drift_detections = 0;    ///< Drift-detector firings.
+  int seu_scrubs = 0;          ///< Scrub passes (periodic + on demand).
+  int seu_reloads = 0;         ///< Recovery bitstream reloads that succeeded.
+  double scrub_overhead_s = 0.0;        ///< Dark time spent scrubbing.
+  double post_recovery_accuracy = 0.0;  ///< Mean served accuracy after the
+                                        ///< last SEU recovery (0 when none).
+
   std::vector<TracePoint> trace;
+
+  /// Every scalar metric as one JSON object. Asserts each value is finite:
+  /// NaN/Inf must never reach a serialized artifact.
+  Json to_json() const;
+  /// CSV over the same scalars, in the same order, with the same
+  /// finiteness guarantee.
+  static std::string csv_header();
+  std::string csv_row() const;
 };
 
 /// Runs one episode with the given policy over the library.

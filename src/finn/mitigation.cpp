@@ -1,0 +1,59 @@
+#include "finn/mitigation.hpp"
+
+#include <cmath>
+
+#include "finn/accelerator.hpp"
+
+namespace adapex {
+
+namespace {
+
+long ceil_long(double v) { return static_cast<long>(std::ceil(v)); }
+
+}  // namespace
+
+MitigationReport estimate_mitigation(const Accelerator& acc,
+                                     const SeuMitigation& mitigation,
+                                     const MitigationCostModel& cost) {
+  MitigationReport rep;
+  if (mitigation.ecc_weights) {
+    // Weight memory lives in the MVTU modules; SWU/Pool/Branch BRAMs hold
+    // line buffers and FIFOs, which the config-scrubber covers instead.
+    long weight_brams = 0;
+    for (const HlsModule& m : acc.modules) {
+      if (m.kind == HlsModuleKind::kMvtu) weight_brams += m.resources.bram;
+    }
+    rep.protected_weight_brams = weight_brams;
+    rep.overhead.bram +=
+        ceil_long(cost.ecc_bram_factor * static_cast<double>(weight_brams));
+    rep.overhead.lut +=
+        ceil_long(cost.ecc_lut_per_bram * static_cast<double>(weight_brams));
+    rep.overhead.ff +=
+        ceil_long(cost.ecc_ff_per_bram * static_cast<double>(weight_brams));
+    rep.throughput_factor *= cost.ecc_throughput_factor;
+  }
+  if (mitigation.scrubbing) {
+    rep.overhead.lut += ceil_long(cost.scrub_lut);
+    rep.overhead.ff += ceil_long(cost.scrub_ff);
+    rep.overhead.bram += ceil_long(cost.scrub_bram);
+    // Scrub passes cost runtime dark time (edge/simulation), not pipeline
+    // throughput: the scrubber reads configuration frames out of band.
+  }
+  if (mitigation.tmr_exit_heads) {
+    for (const HlsModule& m : acc.modules) {
+      if (m.exit_head < 0) continue;
+      // Two extra replicas of every exit-head module; the voter compares
+      // the three class decisions, so throughput is unchanged.
+      rep.overhead.lut += 2 * m.resources.lut;
+      rep.overhead.ff += 2 * m.resources.ff;
+      rep.overhead.bram += 2 * m.resources.bram;
+      rep.overhead.dsp += 2 * m.resources.dsp;
+    }
+    rep.tmr_heads = acc.num_exits;
+    rep.overhead.lut += ceil_long(cost.tmr_voter_lut * acc.num_exits);
+    rep.overhead.ff += ceil_long(cost.tmr_voter_ff * acc.num_exits);
+  }
+  return rep;
+}
+
+}  // namespace adapex

@@ -1,0 +1,81 @@
+// Soft-error (SEU) mitigation configuration and design-time cost model.
+//
+// SRAM-based FPGAs such as the ZCU104 accumulate single-event upsets in
+// configuration and block-RAM memory. Three standard mitigations are
+// modeled, each with the LUT/FF/BRAM and throughput overhead it costs the
+// synthesized accelerator:
+//   - ECC on weight BRAMs: SECDED check bits widen every MVTU weight
+//     memory (~2 extra bits per 16-bit word) plus an encoder/decoder per
+//     protected BRAM; the decode stage shaves a little throughput.
+//   - Configuration scrubbing: an ICAP-style scrubber engine (fixed
+//     LUT/FF/BRAM footprint) that periodically re-reads configuration
+//     frames against golden CRCs; the runtime pays `scrub_time_ms` of
+//     accelerator dark time per pass (modeled in edge/simulation).
+//   - TMR on the early-exit classifier heads: the exit-head modules are
+//     triplicated and a majority voter added per exit, masking confidence
+//     corruption at 2x the head's resources plus the voters.
+//
+// The overhead flows through library/generator into AcceleratorRecord
+// resources and LibraryEntry throughput/power/energy, so the Runtime
+// Manager searches mitigation-aware operating points. With every
+// mitigation disabled the report is all-zero and generated artifacts are
+// byte-identical to an unmitigated run.
+
+#pragma once
+
+#include "hls/modules.hpp"
+
+namespace adapex {
+
+struct Accelerator;  // finn/accelerator.hpp
+
+/// Which SEU mitigations the deployed bitstream carries.
+struct SeuMitigation {
+  /// SECDED ECC on the MVTU weight BRAMs (corrects weight upsets on read).
+  bool ecc_weights = false;
+  /// Periodic configuration scrubbing (repairs config upsets and hangs).
+  bool scrubbing = false;
+  double scrub_period_s = 2.0;  ///< Wall-clock between scrub passes.
+  double scrub_time_ms = 4.0;   ///< Accelerator dark time per pass.
+  /// Triplicate the early-exit classifier heads with majority voters
+  /// (masks exit-confidence corruption).
+  bool tmr_exit_heads = false;
+
+  /// True when any mitigation is enabled.
+  bool any() const { return ecc_weights || scrubbing || tmr_exit_heads; }
+};
+
+/// Cost constants for the mitigation hardware (tunable for ablation).
+struct MitigationCostModel {
+  /// Extra BRAM18s per protected weight BRAM18 (SECDED check bits: 2 per
+  /// 16-bit word).
+  double ecc_bram_factor = 0.125;
+  /// Encoder/decoder logic per protected BRAM18.
+  double ecc_lut_per_bram = 55.0;
+  double ecc_ff_per_bram = 30.0;
+  /// Throughput retained with the ECC decode stage in the weight read path.
+  double ecc_throughput_factor = 0.98;
+  /// ICAP scrubber engine (frame readback + CRC check + repair FSM).
+  double scrub_lut = 1800.0;
+  double scrub_ff = 1200.0;
+  double scrub_bram = 4.0;  ///< Golden-CRC frame store.
+  /// Majority voter per TMR'd exit head.
+  double tmr_voter_lut = 120.0;
+  double tmr_voter_ff = 60.0;
+};
+
+/// Overhead of the configured mitigations on one accelerator.
+struct MitigationReport {
+  Resources overhead;              ///< Added on top of the accelerator total.
+  double throughput_factor = 1.0;  ///< Multiplier on sustained IPS (<= 1).
+  long protected_weight_brams = 0; ///< MVTU BRAM18s under ECC.
+  int tmr_heads = 0;               ///< Exit heads triplicated.
+};
+
+/// Evaluates the cost model for `mitigation` on a compiled accelerator.
+/// All-zero (factor 1.0) when every mitigation is off.
+MitigationReport estimate_mitigation(const Accelerator& acc,
+                                     const SeuMitigation& mitigation,
+                                     const MitigationCostModel& cost);
+
+}  // namespace adapex

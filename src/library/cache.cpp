@@ -154,6 +154,26 @@ std::string library_cache_key(const LibraryGenSpec& spec) {
   key.field("reconfig.base", spec.reconfig.base_ms)
       .field("reconfig.lut", spec.reconfig.ms_per_100klut);
 
+  // Mitigation fields enter the key only when a mitigation is enabled, so
+  // every pre-existing mitigation-free key (and its cached artifact) stays
+  // valid under schema 2.
+  if (spec.mitigation.any()) {
+    key.field("mit.ecc", spec.mitigation.ecc_weights)
+        .field("mit.scrub", spec.mitigation.scrubbing)
+        .field("mit.scrub_period", spec.mitigation.scrub_period_s)
+        .field("mit.scrub_time", spec.mitigation.scrub_time_ms)
+        .field("mit.tmr", spec.mitigation.tmr_exit_heads)
+        .field("mit.ecc_bram_factor", spec.mitigation_cost.ecc_bram_factor)
+        .field("mit.ecc_lut", spec.mitigation_cost.ecc_lut_per_bram)
+        .field("mit.ecc_ff", spec.mitigation_cost.ecc_ff_per_bram)
+        .field("mit.ecc_tput", spec.mitigation_cost.ecc_throughput_factor)
+        .field("mit.scrub_lut", spec.mitigation_cost.scrub_lut)
+        .field("mit.scrub_ff", spec.mitigation_cost.scrub_ff)
+        .field("mit.scrub_bram", spec.mitigation_cost.scrub_bram)
+        .field("mit.tmr_lut", spec.mitigation_cost.tmr_voter_lut)
+        .field("mit.tmr_ff", spec.mitigation_cost.tmr_voter_ff);
+  }
+
   // NOTE: spec.num_threads and spec.on_progress are deliberately excluded —
   // neither affects the generated bytes (see generator.hpp).
   key.field("seed", spec.seed);

@@ -155,7 +155,22 @@ DesignPointResult run_design_point(const LibraryGenSpec& spec,
   result.accelerator.prune_rate_pct = point.rate_pct;
   result.accelerator.resources = acc.total;
   result.accelerator.exit_overhead = acc.exit_overhead;
+  // Reconfiguration time is modeled from the functional design; the
+  // mitigation logic below adds a few percent of fabric that the bitstream
+  // model deliberately ignores.
   result.accelerator.reconfig_ms = spec.reconfig.time_ms(acc);
+
+  // Soft-error mitigation overheads (finn/mitigation.hpp): extra fabric on
+  // the accelerator record, and a throughput/power tax applied to every
+  // Library row after it is built. Skipped entirely when no mitigation is
+  // enabled, so mitigation-free libraries are byte-identical.
+  MitigationReport mitigation;
+  if (spec.mitigation.any()) {
+    mitigation = estimate_mitigation(acc, spec.mitigation, spec.mitigation_cost);
+    result.accelerator.resources += mitigation.overhead;
+    result.accelerator.mitigation = spec.mitigation;
+    result.accelerator.mitigation_overhead = mitigation.overhead;
+  }
 
   const ExitEvaluation eval = evaluate_exits(model, data.test);
   if (!has_exits) {
@@ -192,6 +207,19 @@ DesignPointResult run_design_point(const LibraryGenSpec& spec,
       result.entries.push_back(entry);
     }
   }
+  if (spec.mitigation.any()) {
+    // ECC read-modify-write narrows the effective memory bandwidth; the
+    // mitigation fabric draws its own dynamic power.
+    const double factor = mitigation.throughput_factor;
+    const double mit_w = spec.power.module_peak_w(mitigation.overhead);
+    for (auto& entry : result.entries) {
+      entry.ips *= factor;
+      entry.latency_ms /= factor;
+      entry.peak_power_w += mit_w;
+      entry.energy_per_inf_j =
+          entry.energy_per_inf_j / factor + mit_w / std::max(entry.ips, 1e-9);
+    }
+  }
   result.progress_msg = std::string(to_string(point.variant)) + " rate " +
                         std::to_string(point.rate_pct) + "%: achieved " +
                         std::to_string(report.achieved_rate);
@@ -210,6 +238,7 @@ Library generate_library(const LibraryGenSpec& spec) {
   Library lib;
   lib.dataset = spec.dataset.name;
   lib.static_power_w = spec.power.static_w;
+  lib.mitigation = spec.mitigation;
 
   // Train each family once, serially: every design point forks from these.
   Rng init_rng(spec.seed);

@@ -58,6 +58,12 @@ struct LibraryGenSpec {
   AcceleratorConfig accel;
   PowerModel power;
   ReconfigModel reconfig;
+  /// Soft-error mitigations synthesized into every accelerator (all off by
+  /// default: the paper's setup). When any mitigation is enabled, its
+  /// resource and throughput overheads (finn/mitigation.hpp) are applied to
+  /// the accelerator records and Library rows.
+  SeuMitigation mitigation;
+  MitigationCostModel mitigation_cost;
   std::uint64_t seed = 7;
   /// Design-point parallelism: 0 resolves ADAPEX_THREADS (default:
   /// hardware_concurrency), 1 runs serially on the calling thread. The

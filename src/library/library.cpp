@@ -38,6 +38,26 @@ Resources resources_from_json(const Json& j) {
   return r;
 }
 
+Json mitigation_to_json(const SeuMitigation& m) {
+  Json j = Json::object();
+  j["ecc_weights"] = m.ecc_weights;
+  j["scrubbing"] = m.scrubbing;
+  j["scrub_period_s"] = m.scrub_period_s;
+  j["scrub_time_ms"] = m.scrub_time_ms;
+  j["tmr_exit_heads"] = m.tmr_exit_heads;
+  return j;
+}
+
+SeuMitigation mitigation_from_json(const Json& j) {
+  SeuMitigation m;
+  m.ecc_weights = j.at("ecc_weights").as_bool();
+  m.scrubbing = j.at("scrubbing").as_bool();
+  m.scrub_period_s = j.at("scrub_period_s").as_number();
+  m.scrub_time_ms = j.at("scrub_time_ms").as_number();
+  m.tmr_exit_heads = j.at("tmr_exit_heads").as_bool();
+  return m;
+}
+
 }  // namespace
 
 Json AcceleratorRecord::to_json() const {
@@ -48,6 +68,10 @@ Json AcceleratorRecord::to_json() const {
   j["resources"] = resources_to_json(resources);
   j["exit_overhead"] = resources_to_json(exit_overhead);
   j["reconfig_ms"] = reconfig_ms;
+  if (mitigation.any()) {
+    j["mitigation"] = mitigation_to_json(mitigation);
+    j["mitigation_overhead"] = resources_to_json(mitigation_overhead);
+  }
   return j;
 }
 
@@ -59,6 +83,10 @@ AcceleratorRecord AcceleratorRecord::from_json(const Json& j) {
   r.resources = resources_from_json(j.at("resources"));
   r.exit_overhead = resources_from_json(j.at("exit_overhead"));
   r.reconfig_ms = j.at("reconfig_ms").as_number();
+  if (j.contains("mitigation")) {
+    r.mitigation = mitigation_from_json(j.at("mitigation"));
+    r.mitigation_overhead = resources_from_json(j.at("mitigation_overhead"));
+  }
   return r;
 }
 
@@ -108,6 +136,7 @@ Json Library::to_json() const {
   j["dataset"] = dataset;
   j["reference_accuracy"] = reference_accuracy;
   j["static_power_w"] = static_power_w;
+  if (mitigation.any()) j["mitigation"] = mitigation_to_json(mitigation);
   Json accs = Json::array();
   for (const auto& a : accelerators) accs.push_back(a.to_json());
   j["accelerators"] = std::move(accs);
@@ -122,6 +151,9 @@ Library Library::from_json(const Json& j) {
   lib.dataset = j.at("dataset").as_string();
   lib.reference_accuracy = j.at("reference_accuracy").as_number();
   lib.static_power_w = j.at("static_power_w").as_number();
+  if (j.contains("mitigation")) {
+    lib.mitigation = mitigation_from_json(j.at("mitigation"));
+  }
   for (const auto& a : j.at("accelerators").as_array()) {
     lib.accelerators.push_back(AcceleratorRecord::from_json(a));
   }

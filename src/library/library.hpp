@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/json.hpp"
+#include "finn/mitigation.hpp"
 #include "hls/modules.hpp"
 
 namespace adapex {
@@ -38,6 +39,11 @@ struct AcceleratorRecord {
   /// Resource share of exit heads + branch modules.
   Resources exit_overhead;
   double reconfig_ms = 145.0;
+  /// Soft-error mitigations synthesized into this bitstream and their
+  /// resource cost (already included in `resources`). Serialized only when
+  /// a mitigation is enabled, so mitigation-free libraries are unchanged.
+  SeuMitigation mitigation;
+  Resources mitigation_overhead;
 
   Json to_json() const;
   static AcceleratorRecord from_json(const Json& j);
@@ -69,6 +75,8 @@ struct Library {
   /// the user accuracy threshold is relative to.
   double reference_accuracy = 0.0;
   double static_power_w = 0.0;  ///< Board static power used at generation.
+  /// Soft-error mitigations the whole library was generated with.
+  SeuMitigation mitigation;
   std::vector<AcceleratorRecord> accelerators;
   std::vector<LibraryEntry> entries;
 

@@ -12,10 +12,13 @@ constexpr std::uint64_t kReconfigStream = 0xFA01;
 constexpr std::uint64_t kStallStream = 0xFA02;
 constexpr std::uint64_t kDropStream = 0xFA03;
 constexpr std::uint64_t kDelayStream = 0xFA04;
+constexpr std::uint64_t kWeightStream = 0xFA05;
+constexpr std::uint64_t kConfigStream = 0xFA06;
 
-void check_prob(analysis::LintReport& report, const char* field, double p) {
+void check_prob(analysis::LintReport& report, const char* rule,
+                const char* field, double p) {
   if (!(p >= 0.0 && p <= 1.0)) {
-    report.add("RF1", analysis::Severity::kError, "faults",
+    report.add(rule, analysis::Severity::kError, "faults",
                std::string(field) + " = " + std::to_string(p) +
                    " is not a probability",
                "use a value in [0, 1]");
@@ -26,11 +29,11 @@ void check_prob(analysis::LintReport& report, const char* field, double p) {
 
 analysis::LintReport lint_fault_spec(const FaultSpec& spec) {
   analysis::LintReport report;
-  check_prob(report, "reconfig_fail_prob", spec.reconfig_fail_prob);
-  check_prob(report, "reconfig_slow_prob", spec.reconfig_slow_prob);
-  check_prob(report, "stall_prob", spec.stall_prob);
-  check_prob(report, "monitor_drop_prob", spec.monitor_drop_prob);
-  check_prob(report, "monitor_delay_prob", spec.monitor_delay_prob);
+  check_prob(report, "RF1", "reconfig_fail_prob", spec.reconfig_fail_prob);
+  check_prob(report, "RF1", "reconfig_slow_prob", spec.reconfig_slow_prob);
+  check_prob(report, "RF1", "stall_prob", spec.stall_prob);
+  check_prob(report, "RF1", "monitor_drop_prob", spec.monitor_drop_prob);
+  check_prob(report, "RF1", "monitor_delay_prob", spec.monitor_delay_prob);
   if (!(spec.reconfig_slow_factor >= 1.0)) {
     report.add("RF2", analysis::Severity::kError, "faults",
                "reconfig_slow_factor = " +
@@ -42,6 +45,61 @@ analysis::LintReport lint_fault_spec(const FaultSpec& spec) {
                "stall_duration_s = " + std::to_string(spec.stall_duration_s) +
                    " is negative",
                "use a non-negative window");
+  }
+  // RF4: SEU rates and severities.
+  check_prob(report, "RF4", "seu_weight_prob", spec.seu_weight_prob);
+  check_prob(report, "RF4", "seu_config_prob", spec.seu_config_prob);
+  check_prob(report, "RF4", "seu_weight_accuracy_drop",
+             spec.seu_weight_accuracy_drop);
+  check_prob(report, "RF4", "seu_config_accuracy_drop",
+             spec.seu_config_accuracy_drop);
+  check_prob(report, "RF4", "seu_exit_rate_shift", spec.seu_exit_rate_shift);
+  if (!(spec.seu_hang_frac >= 0.0 && spec.seu_exit_corrupt_frac >= 0.0 &&
+        spec.seu_hang_frac + spec.seu_exit_corrupt_frac <= 1.0)) {
+    report.add("RF4", analysis::Severity::kError, "faults",
+               "seu_hang_frac = " + std::to_string(spec.seu_hang_frac) +
+                   " and seu_exit_corrupt_frac = " +
+                   std::to_string(spec.seu_exit_corrupt_frac) +
+                   " must be non-negative and sum to at most 1",
+               "the remainder is the wrong-class fraction");
+  }
+  // RF5: scrubbing needs a usable schedule.
+  if (spec.mitigation.scrubbing && !(spec.mitigation.scrub_period_s > 0.0)) {
+    report.add("RF5", analysis::Severity::kError, "faults",
+               "mitigation.scrub_period_s = " +
+                   std::to_string(spec.mitigation.scrub_period_s) +
+                   " is not positive while scrubbing is enabled",
+               "scrub passes need a positive period");
+  }
+  if (spec.mitigation.scrubbing && !(spec.mitigation.scrub_time_ms >= 0.0)) {
+    report.add("RF5", analysis::Severity::kError, "faults",
+               "mitigation.scrub_time_ms = " +
+                   std::to_string(spec.mitigation.scrub_time_ms) +
+                   " is negative",
+               "a scrub pass cannot take negative time");
+  }
+  return report;
+}
+
+analysis::LintReport lint_fault_spec(const FaultSpec& spec,
+                                     const Library& library) {
+  analysis::LintReport report = lint_fault_spec(spec);
+  // RF6: TMR triplicates the early-exit classifier heads — meaningless (and
+  // a sign of a misconfigured experiment) when the library has none.
+  if (spec.mitigation.tmr_exit_heads) {
+    bool has_exit_heads = false;
+    for (const LibraryEntry& e : library.entries) {
+      if (e.variant != ModelVariant::kNoExit) {
+        has_exit_heads = true;
+        break;
+      }
+    }
+    if (!has_exit_heads) {
+      report.add("RF6", analysis::Severity::kError, "faults",
+                 "mitigation.tmr_exit_heads is enabled but no library entry "
+                 "has early-exit heads",
+                 "disable TMR or include an early-exit variant");
+    }
   }
   return report;
 }
@@ -56,7 +114,9 @@ FaultInjector::FaultInjector(const FaultSpec& spec, std::uint64_t episode_seed)
       reconfig_rng_(derive_seed(episode_seed, kReconfigStream)),
       stall_rng_(derive_seed(episode_seed, kStallStream)),
       drop_rng_(derive_seed(episode_seed, kDropStream)),
-      delay_rng_(derive_seed(episode_seed, kDelayStream)) {
+      delay_rng_(derive_seed(episode_seed, kDelayStream)),
+      weight_rng_(derive_seed(episode_seed, kWeightStream)),
+      config_rng_(derive_seed(episode_seed, kConfigStream)) {
   require_valid_fault_spec(spec);
 }
 
@@ -84,6 +144,24 @@ bool FaultInjector::draw_monitor_drop() {
 
 bool FaultInjector::draw_monitor_delay() {
   return delay_rng_.uniform() < spec_.monitor_delay_prob;
+}
+
+bool FaultInjector::draw_weight_upset() {
+  return weight_rng_.uniform() < spec_.seu_weight_prob;
+}
+
+ConfigUpset FaultInjector::draw_config_upset() {
+  // Exactly two draws per period (occurrence, then manifestation), both
+  // unconditional: period k's upset depends only on (seed, k), and changing
+  // the manifestation split cannot shift when upsets land.
+  const bool hit = config_rng_.uniform() < spec_.seu_config_prob;
+  const double kind = config_rng_.uniform();
+  if (!hit) return ConfigUpset::kNone;
+  if (kind < spec_.seu_hang_frac) return ConfigUpset::kHang;
+  if (kind < spec_.seu_hang_frac + spec_.seu_exit_corrupt_frac) {
+    return ConfigUpset::kExitCorrupt;
+  }
+  return ConfigUpset::kWrongClass;
 }
 
 }  // namespace adapex

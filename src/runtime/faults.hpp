@@ -10,6 +10,15 @@
 // reconfiguration-failure decisions, and an episode replays byte-identically
 // for a fixed (spec, seed) pair. With every probability at zero the injector
 // draws nothing and the simulation is exactly the fault-free one.
+//
+// Beyond those transient faults, the spec models soft errors (single-event
+// upsets) in the deployed accelerator itself: bit flips in quantized weight
+// memory silently degrade TOP-1 accuracy, and flips in configuration/FIFO
+// memory manifest as wrong-class outputs, early-exit confidence corruption,
+// or pipeline hangs. The `mitigation` block describes the hardware
+// countermeasures synthesized into the bitstream (finn/mitigation.hpp);
+// their runtime effect (immediate correction, periodic repair, dark time)
+// is modeled in edge/simulation.
 
 #pragma once
 
@@ -17,7 +26,9 @@
 
 #include "analysis/diagnostics.hpp"
 #include "common/rng.hpp"
+#include "finn/mitigation.hpp"
 #include "finn/reconfig.hpp"
+#include "library/library.hpp"
 
 namespace adapex {
 
@@ -39,11 +50,38 @@ struct FaultSpec {
   /// Monitor sample arrives one period late.
   double monitor_delay_prob = 0.0;
 
+  // --- Soft errors (SEUs), per sampling period ---
+  /// Bit upset in the quantized weight memory (MVTU BRAMs) of the active
+  /// accelerator. Uncorrected, it silently degrades TOP-1 accuracy.
+  double seu_weight_prob = 0.0;
+  /// Bit upset in configuration/FIFO memory. Manifests as a pipeline hang,
+  /// exit-confidence corruption, or wrong-class outputs (split below).
+  double seu_config_prob = 0.0;
+  /// TOP-1 accuracy lost per active uncorrected weight upset.
+  double seu_weight_accuracy_drop = 0.04;
+  /// TOP-1 accuracy lost per active wrong-class / exit-corrupting config
+  /// upset.
+  double seu_config_accuracy_drop = 0.06;
+  /// First-exit acceptance shift per active confidence-corrupting upset
+  /// (stuck-high exit logits accept early far too often).
+  double seu_exit_rate_shift = 0.25;
+  /// Config-upset manifestation split: fraction that hangs the pipeline and
+  /// fraction that corrupts exit confidence; the remainder flips classes.
+  double seu_hang_frac = 0.15;
+  double seu_exit_corrupt_frac = 0.35;
+  /// Mitigations synthesized into the deployed bitstream
+  /// (finn/mitigation.hpp). Their runtime behaviour — ECC correction, scrub
+  /// repairs + dark time, TMR masking — is modeled in edge/simulation.
+  SeuMitigation mitigation;
+
+  /// True when any soft-error upset can actually land.
+  bool any_seu() const { return seu_weight_prob > 0.0 || seu_config_prob > 0.0; }
+
   /// True when any fault can actually fire.
   bool any() const {
     return reconfig_fail_prob > 0.0 || reconfig_slow_prob > 0.0 ||
            stall_prob > 0.0 || monitor_drop_prob > 0.0 ||
-           monitor_delay_prob > 0.0;
+           monitor_delay_prob > 0.0 || any_seu();
   }
 };
 
@@ -51,8 +89,22 @@ struct FaultSpec {
 /// aggregated-report pattern of src/analysis).
 analysis::LintReport lint_fault_spec(const FaultSpec& spec);
 
+/// Library-aware overload: additionally checks the mitigations against the
+/// accelerators they protect (RF6: TMR needs early-exit heads to
+/// triplicate). Used by simulate_edge, which knows the library.
+analysis::LintReport lint_fault_spec(const FaultSpec& spec,
+                                     const Library& library);
+
 /// Throws ConfigError listing every violation; no-op on a valid spec.
 void require_valid_fault_spec(const FaultSpec& spec);
+
+/// How one configuration-memory upset manifests.
+enum class ConfigUpset {
+  kNone,        ///< No upset this period.
+  kWrongClass,  ///< Corrupted routing/thresholds flip output classes.
+  kExitCorrupt, ///< Exit-head confidence corrupted (early exits misfire).
+  kHang,        ///< FIFO/handshake state wedged: the pipeline stops.
+};
 
 /// Draws fault events for one episode. Each category owns an independent
 /// RNG stream derived from the episode seed, so decisions in one category
@@ -73,6 +125,12 @@ class FaultInjector {
   bool draw_monitor_drop();
   bool draw_monitor_delay();
 
+  /// Does a weight-memory upset land this period?
+  bool draw_weight_upset();
+
+  /// Does a config-memory upset land this period, and how does it manifest?
+  ConfigUpset draw_config_upset();
+
   const FaultSpec& spec() const { return spec_; }
 
  private:
@@ -81,6 +139,8 @@ class FaultInjector {
   Rng stall_rng_;
   Rng drop_rng_;
   Rng delay_rng_;
+  Rng weight_rng_;
+  Rng config_rng_;
 };
 
 }  // namespace adapex

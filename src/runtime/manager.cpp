@@ -30,6 +30,8 @@ const char* to_string(HealthState s) {
     case HealthState::kReconfigPending: return "reconfig-pending";
     case HealthState::kBackoff: return "backoff";
     case HealthState::kDegraded: return "degraded";
+    case HealthState::kScrubbing: return "scrubbing";
+    case HealthState::kReloadPending: return "reload-pending";
   }
   return "?";
 }
@@ -91,6 +93,26 @@ analysis::LintReport lint_runtime_policy(const RuntimePolicy& policy) {
     bad("RP8", "backoff.probe_cooldown_s = " +
                    std::to_string(b.probe_cooldown_s) + " is negative",
         "use a non-negative cooldown");
+  }
+  const DriftPolicy& dr = policy.drift;
+  if (dr.window < 1 || dr.min_samples < 1 || dr.min_samples > dr.window) {
+    bad("RP9",
+        "drift.window = " + std::to_string(dr.window) +
+            " / drift.min_samples = " + std::to_string(dr.min_samples) +
+            " is not a valid detection window",
+        "need window >= 1 and min_samples in [1, window]");
+  }
+  if (!(dr.accuracy_tolerance > 0.0 && dr.accuracy_tolerance <= 1.0)) {
+    bad("RP10",
+        "drift.accuracy_tolerance = " + std::to_string(dr.accuracy_tolerance) +
+            " is outside (0, 1]",
+        "a zero tolerance would fire on numerical noise");
+  }
+  if (!(dr.exit_rate_tolerance > 0.0 && dr.exit_rate_tolerance <= 1.0)) {
+    bad("RP11",
+        "drift.exit_rate_tolerance = " +
+            std::to_string(dr.exit_rate_tolerance) + " is outside (0, 1]",
+        "a zero tolerance would fire on numerical noise");
   }
   return report;
 }
@@ -199,11 +221,13 @@ int RuntimeManager::search(double workload_ips, bool restricted) const {
 
 Decision RuntimeManager::select(double workload_ips, double now_s) {
   // A caller that never reports outcomes (the pre-fault fire-and-forget
-  // protocol) implies the previous switch took effect.
-  if (state_ == HealthState::kReconfigPending) {
+  // protocol) implies the previous switch — or reload — took effect.
+  if (state_ == HealthState::kReconfigPending ||
+      state_ == HealthState::kReloadPending) {
     state_ = HealthState::kHealthy;
     consecutive_failures_ = 0;
     loaded_index_ = current_index_;
+    reload_needed_ = false;
   }
 
   const bool failing = state_ == HealthState::kBackoff ||
@@ -241,11 +265,29 @@ Decision RuntimeManager::select(double workload_ips, double now_s) {
     current_index_ = best;
     if (current_index_ >= 0 && loaded_index_ < 0) loaded_index_ = best;
     if (failing && retry_window) {
-      // The full search no longer wants another accelerator: the failed
-      // switch became moot, so the manager is healthy again.
-      state_ = HealthState::kHealthy;
-      consecutive_failures_ = 0;
-      next_retry_s_ = 0.0;
+      if (reload_needed_) {
+        // The search is content with the loaded accelerator, but a
+        // drift-triggered reload is still owed: the bitstream must be
+        // rewritten before the manager can heal. Retry the reload.
+        d.reload = true;
+        d.reconfigure = true;
+        d.reconfig_ms =
+            library_
+                ->accelerator(library_
+                                  ->entries[static_cast<std::size_t>(
+                                      current_index_)]
+                                  .accel_id)
+                .reconfig_ms;
+        d.retry = consecutive_failures_ > 0;
+        loaded_index_ = current_index_;
+        state_ = HealthState::kReloadPending;
+      } else {
+        // The full search no longer wants another accelerator: the failed
+        // switch became moot, so the manager is healthy again.
+        state_ = HealthState::kHealthy;
+        consecutive_failures_ = 0;
+        next_retry_s_ = 0.0;
+      }
     }
   }
   d.entry_index = current_index_;
@@ -254,13 +296,16 @@ Decision RuntimeManager::select(double workload_ips, double now_s) {
 }
 
 void RuntimeManager::complete_reconfig(bool success, double now_s) {
-  ADAPEX_CHECK(state_ == HealthState::kReconfigPending,
+  ADAPEX_CHECK(state_ == HealthState::kReconfigPending ||
+                   state_ == HealthState::kReloadPending,
                "complete_reconfig without a pending reconfiguration");
   if (success) {
     state_ = HealthState::kHealthy;
     consecutive_failures_ = 0;
     next_retry_s_ = 0.0;
     loaded_index_ = current_index_;
+    // Any bitstream rewrite — switch or reload — settles an owed reload.
+    reload_needed_ = false;
     return;
   }
   // The bitstream never changed: roll back to the loaded operating point.
@@ -289,6 +334,66 @@ void RuntimeManager::complete_reconfig(bool success, double now_s) {
 }
 
 void RuntimeManager::force_probe() { next_retry_s_ = 0.0; }
+
+Decision RuntimeManager::report_drift(double now_s, bool scrub_available) {
+  (void)now_s;  // kept for symmetry with select(); retries are time-gated
+                // only once a reload attempt has actually failed.
+  ADAPEX_CHECK(current_index_ >= 0,
+               "report_drift before the first select() chose an operating "
+               "point");
+  Decision d;
+  d.entry_index = current_index_;
+  d.attempted_index = current_index_;
+  d.state = state_;
+  switch (state_) {
+    case HealthState::kReconfigPending:
+    case HealthState::kReloadPending:
+      // An outcome is already owed; its rewrite will repair the drift.
+      return d;
+    case HealthState::kBackoff:
+    case HealthState::kDegraded:
+      // A retry is already scheduled. Make sure it rewrites the bitstream
+      // even if the workload search heals ("moot") before it fires.
+      reload_needed_ = true;
+      return d;
+    case HealthState::kHealthy:
+      if (scrub_available) {
+        // Cheapest repair first: an on-demand configuration scrub. If the
+        // next observation window still drifts, the caller reports again
+        // and kScrubbing escalates to a reload below.
+        d.scrub = true;
+        state_ = HealthState::kScrubbing;
+        d.state = state_;
+        return d;
+      }
+      break;
+    case HealthState::kScrubbing:
+      break;
+  }
+  // Scrub already tried (or no scrubber deployed): reload the active
+  // accelerator's bitstream through the ordinary reconfiguration protocol.
+  d.reload = true;
+  d.reconfigure = true;
+  d.reconfig_ms =
+      library_
+          ->accelerator(
+              library_->entries[static_cast<std::size_t>(current_index_)]
+                  .accel_id)
+          .reconfig_ms;
+  d.retry = consecutive_failures_ > 0;
+  loaded_index_ = current_index_;
+  reload_needed_ = true;
+  state_ = HealthState::kReloadPending;
+  d.state = state_;
+  return d;
+}
+
+void RuntimeManager::drift_cleared() {
+  if (state_ == HealthState::kScrubbing) {
+    state_ = HealthState::kHealthy;
+    reload_needed_ = false;
+  }
+}
 
 const LibraryEntry& RuntimeManager::current() const {
   ADAPEX_CHECK(current_index_ >= 0,

@@ -32,6 +32,16 @@
 // only re-proposes a reconfiguration when the backoff timer / probe
 // cooldown expires. Backoff delays get deterministic jitter from a
 // splitmix64-derived stream so retries desynchronize reproducibly.
+//
+// Soft-error recovery adds a second entry path into that machinery: when
+// the drift detector (runtime/monitor.hpp) reports accuracy/confidence
+// drift via report_drift(), the manager first orders an on-demand
+// configuration scrub (kScrubbing) when a scrubber is deployed, and
+// escalates to a full bitstream reload (kReloadPending — the same
+// reconfiguration mechanics, targeting the already-active accelerator) if
+// drift persists or no scrubber exists. A failed reload enters the
+// ordinary Backoff/Degraded retry schedule, and the owed reload survives
+// the "failure became moot" heal path until a bitstream rewrite succeeds.
 
 #pragma once
 
@@ -41,6 +51,7 @@
 
 #include "analysis/diagnostics.hpp"
 #include "library/library.hpp"
+#include "runtime/monitor.hpp"
 
 namespace adapex {
 
@@ -60,6 +71,8 @@ enum class HealthState {
   kReconfigPending, ///< A proposed accelerator switch awaits its outcome.
   kBackoff,         ///< Recent failure; retrying with exponential backoff.
   kDegraded,        ///< Failure latched; cooldown-gated probes only.
+  kScrubbing,       ///< Drift reported; an on-demand scrub is repairing.
+  kReloadPending,   ///< A drift-triggered bitstream reload awaits its outcome.
 };
 
 const char* to_string(HealthState s);
@@ -102,6 +115,8 @@ struct RuntimePolicy {
   double ips_headroom = 1.10;
   /// Self-healing behaviour on reconfiguration failure.
   BackoffPolicy backoff{};
+  /// Soft-error drift detection thresholds (runtime/monitor.hpp).
+  DriftPolicy drift{};
 };
 
 /// Validates a policy without throwing; one diagnostic per bad field.
@@ -123,6 +138,11 @@ struct Decision {
   bool retry = false;
   /// The search was restricted to the loaded bitstream (CT-only fallback).
   bool degraded = false;
+  /// Drift recovery: run an on-demand configuration scrub now.
+  bool scrub = false;
+  /// Drift recovery: `reconfigure`/`reconfig_ms` describe a reload of the
+  /// already-active accelerator's bitstream rather than a switch.
+  bool reload = false;
   HealthState state = HealthState::kHealthy;  ///< State after the decision.
 };
 
@@ -149,6 +169,21 @@ class RuntimeManager {
   /// Clears any retry gate so the next select() may probe immediately
   /// (the edge watchdog's recovery hammer).
   void force_probe();
+
+  /// Reports accuracy/confidence drift on the served stream. When healthy
+  /// and `scrub_available`, orders an on-demand configuration scrub
+  /// (cheapest repair first); when drift persists through a scrub — or no
+  /// scrubber is deployed — proposes a bitstream reload of the active
+  /// accelerator through the normal reconfiguration protocol (report the
+  /// outcome with complete_reconfig; failures back off as usual, and the
+  /// owed reload is re-proposed at every retry window until a rewrite
+  /// succeeds). While an outcome is already pending, or a retry is already
+  /// scheduled, returns a no-op decision.
+  Decision report_drift(double now_s, bool scrub_available);
+
+  /// Reports a clean post-scrub observation window: the scrub repaired the
+  /// drift, so kScrubbing returns to kHealthy. No-op in other states.
+  void drift_cleared();
 
   /// Active operating point. Throws Error with a clear message when called
   /// before the first select() has chosen one.
@@ -177,6 +212,9 @@ class RuntimeManager {
   HealthState state_ = HealthState::kHealthy;
   int consecutive_failures_ = 0;
   double next_retry_s_ = 0.0;
+  /// A drift-triggered reload is owed: kept across failed attempts (and the
+  /// moot-heal path) until some bitstream rewrite succeeds.
+  bool reload_needed_ = false;
   std::uint64_t jitter_state_;  ///< splitmix64 stream for backoff jitter.
 };
 

@@ -8,9 +8,16 @@
 // flagged", not on every sample — which is what keeps reconfiguration
 // counts low under sampling noise.
 
+// The DriftDetector below is the soft-error counterpart: it watches the
+// *quality* of the served stream (windowed TOP-1 agreement with a golden
+// reference, and the first-exit acceptance rate) against the Library's
+// design-time expectations, flagging the accuracy/confidence drift that
+// uncorrected upsets in weight or configuration memory produce.
+
 #pragma once
 
 #include <cmath>
+#include <vector>
 
 #include "common/error.hpp"
 
@@ -77,6 +84,105 @@ class WorkloadMonitor {
   double last_flagged_ = 0.0;
   bool has_rate_ = false;
   bool has_flagged_ = false;
+};
+
+/// Thresholds for the accuracy/confidence drift detector (linted as
+/// RP9–RP11 by lint_runtime_policy).
+struct DriftPolicy {
+  /// Sliding window length, in manager sampling periods.
+  int window = 8;
+  /// Observations required before the detector may fire (bounds detection
+  /// latency from below; the window bounds it from above).
+  int min_samples = 4;
+  /// Windowed TOP-1-agreement drop below the Library expectation that
+  /// flags drift.
+  double accuracy_tolerance = 0.05;
+  /// Windowed absolute first-exit acceptance shift that flags drift.
+  double exit_rate_tolerance = 0.20;
+};
+
+/// Accuracy/confidence drift detector (soft-error datapath monitoring).
+///
+/// The runtime periodically spot-checks served predictions against a golden
+/// host-side reference and tracks the early-exit acceptance rate; both have
+/// design-time expectations recorded in the active Library entry. A
+/// windowed mean departing from its expectation by more than the policy
+/// tolerance flags drift — the signature of uncorrected upsets in weight or
+/// configuration memory. Expectations are exact and observations noise-free
+/// in this model, so a clean episode can never fire the detector
+/// (tolerances are required positive).
+class DriftDetector {
+ public:
+  explicit DriftDetector(const DriftPolicy& policy) : policy_(policy) {
+    ADAPEX_CHECK(policy_.window >= 1, "drift window must be >= 1");
+    ADAPEX_CHECK(
+        policy_.min_samples >= 1 && policy_.min_samples <= policy_.window,
+        "drift min_samples must be in [1, window]");
+    ADAPEX_CHECK(policy_.accuracy_tolerance > 0.0,
+                 "drift accuracy tolerance must be positive");
+    ADAPEX_CHECK(policy_.exit_rate_tolerance > 0.0,
+                 "drift exit-rate tolerance must be positive");
+  }
+
+  /// Sets the Library expectations for the active operating point and
+  /// clears the observation window (call on every entry change).
+  void expect(double accuracy, double first_exit_rate) {
+    expected_accuracy_ = accuracy;
+    expected_exit_rate_ = first_exit_rate;
+    reset();
+  }
+
+  /// Clears the observation window (e.g. after a recovery action, so the
+  /// post-recovery stream is judged on its own).
+  void reset() {
+    acc_window_.clear();
+    exit_window_.clear();
+  }
+
+  /// Records one sampling period's observed quality.
+  void observe(double accuracy, double first_exit_rate) {
+    push(acc_window_, accuracy);
+    push(exit_window_, first_exit_rate);
+  }
+
+  int samples() const { return static_cast<int>(acc_window_.size()); }
+  bool window_full() const { return samples() >= policy_.window; }
+
+  /// Positive when the windowed agreement sits below the expectation.
+  double accuracy_gap() const { return expected_accuracy_ - mean(acc_window_); }
+  /// Absolute shift of the windowed first-exit acceptance.
+  double exit_rate_gap() const {
+    return std::abs(mean(exit_window_) - expected_exit_rate_);
+  }
+
+  /// True when either windowed statistic exceeds its tolerance (after
+  /// min_samples observations).
+  bool drifted() const {
+    if (samples() < policy_.min_samples) return false;
+    return accuracy_gap() > policy_.accuracy_tolerance ||
+           exit_rate_gap() > policy_.exit_rate_tolerance;
+  }
+
+ private:
+  void push(std::vector<double>& window, double value) {
+    window.push_back(value);
+    if (static_cast<int>(window.size()) > policy_.window) {
+      window.erase(window.begin());
+    }
+  }
+
+  static double mean(const std::vector<double>& window) {
+    if (window.empty()) return 0.0;
+    double sum = 0.0;
+    for (double v : window) sum += v;
+    return sum / static_cast<double>(window.size());
+  }
+
+  DriftPolicy policy_;
+  double expected_accuracy_ = 0.0;
+  double expected_exit_rate_ = 1.0;
+  std::vector<double> acc_window_;
+  std::vector<double> exit_window_;
 };
 
 }  // namespace adapex

@@ -166,6 +166,75 @@ TEST(FaultInjector, ValidationAggregatesEveryViolation) {
   EXPECT_NO_THROW(require_valid_fault_spec(mixed_faults()));
 }
 
+TEST(FaultInjector, SeuLintRejectsBadRatesAndSeverities) {
+  // RF4: SEU probabilities and severities must be sane rates.
+  FaultSpec f;
+  f.seu_weight_prob = 1.5;
+  f.seu_config_prob = -0.1;
+  f.seu_weight_accuracy_drop = 2.0;
+  f.seu_exit_rate_shift = -0.5;
+  f.seu_hang_frac = 0.8;
+  f.seu_exit_corrupt_frac = 0.5;  // fractions sum to 1.3 > 1
+  try {
+    require_valid_fault_spec(f);
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("seu_weight_prob"), std::string::npos);
+    EXPECT_NE(msg.find("seu_config_prob"), std::string::npos);
+    EXPECT_NE(msg.find("seu_weight_accuracy_drop"), std::string::npos);
+    EXPECT_NE(msg.find("seu_exit_rate_shift"), std::string::npos);
+    EXPECT_NE(msg.find("RF4"), std::string::npos);
+  }
+}
+
+TEST(FaultInjector, SeuLintChecksScrubScheduleAndTmrTargets) {
+  // RF5: an enabled scrubber needs a sane schedule.
+  FaultSpec f;
+  f.mitigation.scrubbing = true;
+  f.mitigation.scrub_period_s = 0.0;
+  f.mitigation.scrub_time_ms = -1.0;
+  const auto r5 = lint_fault_spec(f);
+  EXPECT_TRUE(r5.has_errors());
+  EXPECT_NE(r5.error_message().find("scrub_period_s"), std::string::npos);
+  EXPECT_NE(r5.error_message().find("scrub_time_ms"), std::string::npos);
+
+  // RF6: TMR on exit heads requires a library with early-exit entries.
+  FaultSpec tmr;
+  tmr.mitigation.tmr_exit_heads = true;
+  Library no_exits;
+  no_exits.dataset = "no-exits";
+  no_exits.reference_accuracy = 0.9;
+  no_exits.entries = {
+      entry(0, ModelVariant::kNoExit, 0, -1, 0.90, 100, 6.0, 1.16, 0.006)};
+  const auto r6 = lint_fault_spec(tmr, no_exits);
+  EXPECT_TRUE(r6.has_errors());
+  EXPECT_NE(r6.error_message().find("RF6"), std::string::npos);
+  // With exit heads present the same spec is fine.
+  EXPECT_FALSE(lint_fault_spec(tmr, controlled_library()).has_errors());
+  // The library-blind overload cannot check RF6 and stays quiet.
+  EXPECT_FALSE(lint_fault_spec(tmr).has_errors());
+}
+
+TEST(RuntimePolicyValidation, DriftPolicyLintedAsRp9ToRp11) {
+  RuntimePolicy p;
+  p.drift.window = 0;
+  p.drift.accuracy_tolerance = 0.0;
+  p.drift.exit_rate_tolerance = 1.5;
+  try {
+    require_valid_runtime_policy(p);
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("drift.window"), std::string::npos);
+    EXPECT_NE(msg.find("drift.accuracy_tolerance"), std::string::npos);
+    EXPECT_NE(msg.find("drift.exit_rate_tolerance"), std::string::npos);
+  }
+  RuntimePolicy q;
+  q.drift.min_samples = q.drift.window + 1;
+  EXPECT_TRUE(lint_runtime_policy(q).has_errors());
+}
+
 TEST(RuntimePolicyValidation, RejectsBadFieldsAggregated) {
   RuntimePolicy p;
   p.max_accuracy_loss = 1.7;
