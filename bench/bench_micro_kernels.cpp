@@ -6,12 +6,14 @@
 #include <benchmark/benchmark.h>
 
 #include "core/adapex.hpp"
+#include "tensor/kernels.hpp"
 #include "tensor/ops.hpp"
 
 namespace {
 
 using namespace adapex;
 
+// Blocked kernel (routes through tensor/kernels.hpp dispatch).
 void BM_GemmAccumulate(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   std::vector<float> a(static_cast<std::size_t>(n) * n, 1.5f);
@@ -24,6 +26,77 @@ void BM_GemmAccumulate(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2L * n * n * n);
 }
 BENCHMARK(BM_GemmAccumulate)->Arg(64)->Arg(128)->Arg(256);
+
+// Retained naive i-k-j reference: the "before" baseline the blocked kernel
+// is compared against (same build, same flags).
+void BM_GemmRef(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<float> a(static_cast<std::size_t>(n) * n, 1.5f);
+  std::vector<float> b(static_cast<std::size_t>(n) * n, 0.5f);
+  std::vector<float> c(static_cast<std::size_t>(n) * n, 0.0f);
+  for (auto _ : state) {
+    kernels::ref::gemm_accumulate(a.data(), b.data(), c.data(), n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2L * n * n * n);
+}
+BENCHMARK(BM_GemmRef)->Arg(64)->Arg(128)->Arg(256);
+
+// 85%-zero A (a pruned+quantized weight matrix): adaptive dispatch routes
+// this to the scalar zero-skip path, which beats packing at this density.
+void BM_GemmSparse(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(12);
+  std::vector<float> a(static_cast<std::size_t>(n) * n);
+  for (auto& v : a) v = rng.bernoulli(0.85) ? 0.0f : 1.5f;
+  std::vector<float> b(static_cast<std::size_t>(n) * n, 0.5f);
+  std::vector<float> c(static_cast<std::size_t>(n) * n, 0.0f);
+  for (auto _ : state) {
+    ops::gemm_accumulate(a.data(), b.data(), c.data(), n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2L * n * n * n);
+}
+BENCHMARK(BM_GemmSparse)->Arg(256);
+
+void BM_GemmABt(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<float> a(static_cast<std::size_t>(n) * n, 1.5f);
+  std::vector<float> b(static_cast<std::size_t>(n) * n, 0.5f);
+  std::vector<float> c(static_cast<std::size_t>(n) * n, 0.0f);
+  for (auto _ : state) {
+    ops::gemm_a_bt_accumulate(a.data(), b.data(), c.data(), n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2L * n * n * n);
+}
+BENCHMARK(BM_GemmABt)->Arg(64)->Arg(256);
+
+void BM_GemmABtRef(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<float> a(static_cast<std::size_t>(n) * n, 1.5f);
+  std::vector<float> b(static_cast<std::size_t>(n) * n, 0.5f);
+  std::vector<float> c(static_cast<std::size_t>(n) * n, 0.0f);
+  for (auto _ : state) {
+    kernels::ref::gemm_a_bt_accumulate(a.data(), b.data(), c.data(), n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2L * n * n * n);
+}
+BENCHMARK(BM_GemmABtRef)->Arg(64)->Arg(256);
+
+void BM_GemmAtB(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<float> a(static_cast<std::size_t>(n) * n, 1.5f);
+  std::vector<float> b(static_cast<std::size_t>(n) * n, 0.5f);
+  std::vector<float> c(static_cast<std::size_t>(n) * n, 0.0f);
+  for (auto _ : state) {
+    ops::gemm_at_b_accumulate(a.data(), b.data(), c.data(), n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2L * n * n * n);
+}
+BENCHMARK(BM_GemmAtB)->Arg(64)->Arg(256);
 
 void BM_Conv2dForward(benchmark::State& state) {
   Rng rng(1);
@@ -40,6 +113,55 @@ void BM_Conv2dForward(benchmark::State& state) {
 }
 BENCHMARK(BM_Conv2dForward);
 
+void BM_Conv2dBackward(benchmark::State& state) {
+  Rng rng(7);
+  Tensor x({8, 16, 16, 16});
+  x.randn_(rng, 1.0f);
+  Tensor w({32, 16, 3, 3});
+  w.randn_(rng, 0.5f);
+  Tensor bias;
+  std::vector<float> scratch;
+  Tensor y = ops::conv2d_forward(x, w, bias, scratch);
+  Tensor dy(y.shape());
+  dy.randn_(rng, 1.0f);
+  Tensor dw(w.shape());
+  Tensor db;
+  for (auto _ : state) {
+    Tensor dx;
+    ops::conv2d_backward(x, w, dy, dx, dw, db, scratch);
+    benchmark::DoNotOptimize(dx.data());
+  }
+}
+BENCHMARK(BM_Conv2dBackward);
+
+void BM_LinearForward(benchmark::State& state) {
+  Rng rng(8);
+  Tensor x({32, 512});
+  x.randn_(rng, 1.0f);
+  Tensor w({256, 512});
+  w.randn_(rng, 0.5f);
+  Tensor bias({256});
+  bias.randn_(rng, 0.5f);
+  for (auto _ : state) {
+    Tensor y = ops::linear_forward(x, w, bias);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2L * 32 * 512 * 256);
+}
+BENCHMARK(BM_LinearForward);
+
+void BM_MaxPool(benchmark::State& state) {
+  Rng rng(9);
+  Tensor x({8, 32, 32, 32});
+  x.randn_(rng, 1.0f);
+  std::vector<int> argmax;
+  for (auto _ : state) {
+    Tensor y = ops::maxpool_forward(x, 2, 2, argmax);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_MaxPool);
+
 void BM_CnvInference(benchmark::State& state) {
   Rng rng(2);
   CnvConfig cfg = CnvConfig{}.scaled(0.25);
@@ -52,6 +174,47 @@ void BM_CnvInference(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CnvInference);
+
+void BM_EvaluateExits(benchmark::State& state) {
+  SyntheticSpec spec = cifar10_like_spec();
+  spec.train_size = 8;
+  spec.test_size = 256;
+  SyntheticDataset data = make_synthetic(spec);
+  Rng rng(5);
+  CnvConfig cfg = CnvConfig{}.scaled(0.25);
+  cfg.num_classes = spec.num_classes;
+  BranchyModel model = build_cnv_with_exits(cfg, paper_exits_config(false), rng);
+  const int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto eval = evaluate_exits(model, data.test, 32, threads);
+    benchmark::DoNotOptimize(eval.confidence.data());
+  }
+  state.SetItemsProcessed(state.iterations() * spec.test_size);
+}
+BENCHMARK(BM_EvaluateExits)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_TrainEpoch(benchmark::State& state) {
+  SyntheticSpec spec = cifar10_like_spec();
+  spec.train_size = 128;
+  spec.test_size = 8;
+  SyntheticDataset data = make_synthetic(spec);
+  Rng rng(6);
+  CnvConfig cfg = CnvConfig{}.scaled(0.25);
+  cfg.num_classes = spec.num_classes;
+  TrainConfig tc;
+  tc.epochs = 1;
+  tc.batch_size = 32;
+  for (auto _ : state) {
+    state.PauseTiming();
+    BranchyModel model =
+        build_cnv_with_exits(cfg, paper_exits_config(false), rng);
+    state.ResumeTiming();
+    auto history = train_model(model, data.train, spec.flip_symmetry, tc);
+    benchmark::DoNotOptimize(history.data());
+  }
+  state.SetItemsProcessed(state.iterations() * spec.train_size);
+}
+BENCHMARK(BM_TrainEpoch)->Unit(benchmark::kMillisecond);
 
 void BM_CompileAccelerator(benchmark::State& state) {
   Rng rng(3);

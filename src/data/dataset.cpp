@@ -18,24 +18,35 @@ void Dataset::add(Tensor image, int label, float difficulty) {
   difficulty_.push_back(difficulty);
 }
 
-Tensor Dataset::batch_images(const std::vector<int>& indices) const {
-  ADAPEX_CHECK(!indices.empty(), "empty batch");
-  Tensor batch({static_cast<int>(indices.size()), channels_, height_, width_});
+Tensor Dataset::batch_images(const int* indices, int count) const {
+  ADAPEX_CHECK(indices != nullptr && count > 0, "empty batch");
+  Tensor batch({count, channels_, height_, width_});
   const std::size_t per_img =
       static_cast<std::size_t>(channels_) * height_ * width_;
-  for (std::size_t i = 0; i < indices.size(); ++i) {
+  for (int i = 0; i < count; ++i) {
     const Tensor& img = images_.at(static_cast<std::size_t>(indices[i]));
-    std::memcpy(batch.data() + i * per_img, img.data(),
-                per_img * sizeof(float));
+    std::memcpy(batch.data() + static_cast<std::size_t>(i) * per_img,
+                img.data(), per_img * sizeof(float));
   }
   return batch;
 }
 
-std::vector<int> Dataset::batch_labels(const std::vector<int>& indices) const {
+Tensor Dataset::batch_images(const std::vector<int>& indices) const {
+  return batch_images(indices.data(), static_cast<int>(indices.size()));
+}
+
+std::vector<int> Dataset::batch_labels(const int* indices, int count) const {
+  ADAPEX_CHECK(indices != nullptr && count > 0, "empty batch");
   std::vector<int> out;
-  out.reserve(indices.size());
-  for (int idx : indices) out.push_back(labels_.at(static_cast<std::size_t>(idx)));
+  out.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    out.push_back(labels_.at(static_cast<std::size_t>(indices[i])));
+  }
   return out;
+}
+
+std::vector<int> Dataset::batch_labels(const std::vector<int>& indices) const {
+  return batch_labels(indices.data(), static_cast<int>(indices.size()));
 }
 
 namespace {
@@ -192,12 +203,11 @@ SyntheticSpec gtsrb_like_spec() {
   return spec;
 }
 
-Tensor augment_image(const Tensor& image, bool allow_flip, Rng& rng) {
-  const int c = image.dim(0), h = image.dim(1), w = image.dim(2);
+void augment_image_into(const float* image, float* out, int c, int h, int w,
+                        bool allow_flip, Rng& rng) {
   const int dx = static_cast<int>(rng.uniform_index(5)) - 2;
   const int dy = static_cast<int>(rng.uniform_index(5)) - 2;
   const bool flip = allow_flip && rng.bernoulli(0.5);
-  Tensor out({c, h, w});
   for (int ch = 0; ch < c; ++ch) {
     for (int y = 0; y < h; ++y) {
       for (int x = 0; x < w; ++x) {
@@ -212,6 +222,12 @@ Tensor augment_image(const Tensor& image, bool allow_flip, Rng& rng) {
       }
     }
   }
+}
+
+Tensor augment_image(const Tensor& image, bool allow_flip, Rng& rng) {
+  const int c = image.dim(0), h = image.dim(1), w = image.dim(2);
+  Tensor out({c, h, w});
+  augment_image_into(image.data(), out.data(), c, h, w, allow_flip, rng);
   return out;
 }
 

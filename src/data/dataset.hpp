@@ -40,8 +40,12 @@ class Dataset {
   /// Appends one sample; `image` must be a [C,H,W] tensor.
   void add(Tensor image, int label, float difficulty);
 
-  /// Builds a batch tensor [B,C,H,W] from the given sample indices.
+  /// Builds a batch tensor [B,C,H,W] from the given sample indices. The
+  /// pointer overloads gather from a span of an existing index buffer, so
+  /// batch loops can reuse one index vector instead of rebuilding per batch.
+  Tensor batch_images(const int* indices, int count) const;
   Tensor batch_images(const std::vector<int>& indices) const;
+  std::vector<int> batch_labels(const int* indices, int count) const;
   std::vector<int> batch_labels(const std::vector<int>& indices) const;
 
   const Tensor& image(int i) const { return images_.at(static_cast<std::size_t>(i)); }
@@ -97,5 +101,11 @@ SyntheticSpec gtsrb_like_spec();
 /// Training-time augmentation: random shift (±2 px, zero fill) and, when
 /// `allow_flip`, horizontal flip. Operates on a [C,H,W] image.
 Tensor augment_image(const Tensor& image, bool allow_flip, Rng& rng);
+
+/// augment_image writing straight into a caller-provided [C,H,W] span (e.g.
+/// one image's slot in a batch buffer) — same rng draws and same values,
+/// without a temporary tensor. `image` and `out` must not alias.
+void augment_image_into(const float* image, float* out, int c, int h, int w,
+                        bool allow_flip, Rng& rng);
 
 }  // namespace adapex

@@ -172,7 +172,10 @@ DesignPointResult run_design_point(const LibraryGenSpec& spec,
     result.accelerator.mitigation_overhead = mitigation.overhead;
   }
 
-  const ExitEvaluation eval = evaluate_exits(model, data.test);
+  // Serial eval (num_threads=1): run_design_point already executes inside a
+  // design-point pool worker, and pool tasks must not spin up nested pools.
+  const ExitEvaluation eval =
+      evaluate_exits(model, data.test, /*batch_size=*/32, /*num_threads=*/1);
   if (!has_exits) {
     const auto stats = apply_threshold(eval, 2.0);
     const auto perf = estimate_performance(acc, {1.0}, spec.power);

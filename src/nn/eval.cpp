@@ -1,24 +1,31 @@
 #include "nn/eval.hpp"
 
 #include <algorithm>
+#include <exception>
+#include <mutex>
+#include <numeric>
 
+#include "common/thread_pool.hpp"
 #include "tensor/ops.hpp"
 
 namespace adapex {
 
-ExitEvaluation evaluate_exits(BranchyModel& model, const Dataset& test,
-                              int batch_size) {
-  ADAPEX_CHECK(test.size() > 0, "empty test set");
-  ExitEvaluation eval;
-  eval.confidence.resize(static_cast<std::size_t>(test.size()));
-  eval.correct.resize(static_cast<std::size_t>(test.size()));
+namespace {
 
-  for (int start = 0; start < test.size(); start += batch_size) {
+/// Runs batches [batch_begin, batch_end) of the fixed batch grid through
+/// `model` and writes each sample's pre-sized result row in place. Batch
+/// boundaries depend only on (test.size(), batch_size), so every sample is
+/// evaluated inside the same batch — hence with bit-identical forward math —
+/// no matter how batches are distributed over workers.
+void evaluate_batches(BranchyModel& model, const Dataset& test, int batch_size,
+                      int batch_begin, int batch_end, const int* order,
+                      ExitEvaluation& eval) {
+  for (int b = batch_begin; b < batch_end; ++b) {
+    const int start = b * batch_size;
     const int end = std::min(start + batch_size, test.size());
-    std::vector<int> idx(static_cast<std::size_t>(end - start));
-    for (int i = start; i < end; ++i) idx[static_cast<std::size_t>(i - start)] = i;
-    Tensor batch = test.batch_images(idx);
-    const std::vector<int> labels = test.batch_labels(idx);
+    Tensor batch = test.batch_images(order + start, end - start);
+    const std::vector<int> labels = test.batch_labels(order + start,
+                                                      end - start);
 
     auto logits = model.forward(batch, /*train=*/false);
     for (std::size_t e = 0; e < logits.size(); ++e) {
@@ -28,16 +35,74 @@ ExitEvaluation evaluate_exits(BranchyModel& model, const Dataset& test,
         for (int k = 1; k < probs.dim(1); ++k) {
           if (probs.at2(i, k) > probs.at2(i, best)) best = k;
         }
-        auto& conf_row = eval.confidence[static_cast<std::size_t>(start + i)];
-        auto& corr_row = eval.correct[static_cast<std::size_t>(start + i)];
-        conf_row.resize(logits.size());
-        corr_row.resize(logits.size());
-        conf_row[e] = probs.at2(i, best);
-        corr_row[e] =
+        const auto s = static_cast<std::size_t>(start + i);
+        eval.confidence[s][e] = probs.at2(i, best);
+        eval.correct[s][e] =
             best == labels[static_cast<std::size_t>(i)] ? 1 : 0;
       }
     }
   }
+}
+
+}  // namespace
+
+ExitEvaluation evaluate_exits(BranchyModel& model, const Dataset& test,
+                              int batch_size, int num_threads) {
+  ADAPEX_CHECK(test.size() > 0, "empty test set");
+  ADAPEX_CHECK(batch_size > 0, "batch size must be positive");
+  const auto samples = static_cast<std::size_t>(test.size());
+  const std::size_t exits = model.num_outputs();
+
+  ExitEvaluation eval;
+  // Pre-size every row once; the batch loops then write result slots in
+  // place instead of resizing per (exit x sample).
+  eval.confidence.assign(samples, std::vector<float>(exits, 0.0f));
+  eval.correct.assign(samples, std::vector<std::uint8_t>(exits, 0));
+
+  // One iota'd index buffer shared by every batch (test-set order), instead
+  // of rebuilding an index vector element-by-element per batch.
+  std::vector<int> order(samples);
+  std::iota(order.begin(), order.end(), 0);
+
+  const int num_batches = (test.size() + batch_size - 1) / batch_size;
+  std::size_t threads = num_threads > 0
+                            ? static_cast<std::size_t>(num_threads)
+                            : ThreadPool::env_thread_count();
+  threads = std::min(threads, static_cast<std::size_t>(num_batches));
+
+  if (threads <= 1) {
+    evaluate_batches(model, test, batch_size, 0, num_batches, order.data(),
+                     eval);
+    return eval;
+  }
+
+  // Deterministic parallelism: the batch grid is fixed by batch_size, each
+  // worker takes a contiguous chunk of batches and writes disjoint
+  // per-sample slots, and each worker clones the model once (forward mutates
+  // layer caches even in eval mode). Results are byte-identical to the
+  // serial path at any thread count.
+  ThreadPool pool(threads);
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  const int chunk = (num_batches + static_cast<int>(threads) - 1) /
+                    static_cast<int>(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    const int begin = static_cast<int>(t) * chunk;
+    const int end = std::min(begin + chunk, num_batches);
+    if (begin >= end) break;
+    pool.submit([&, begin, end] {
+      try {
+        BranchyModel local = model.clone();
+        evaluate_batches(local, test, batch_size, begin, end, order.data(),
+                         eval);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  pool.wait();
+  if (first_error) std::rethrow_exception(first_error);
   return eval;
 }
 

@@ -43,8 +43,14 @@ struct EarlyExitStats {
 };
 
 /// Runs the full test set through the model (eval mode) in batches.
+///
+/// Batches are distributed over `num_threads` workers (0 = ADAPEX_THREADS /
+/// hardware concurrency; pass 1 for serial, e.g. from inside another thread
+/// pool). The batch grid is fixed by batch_size and each worker clones the
+/// model and fills disjoint per-sample slots, so results are byte-identical
+/// at any thread count.
 ExitEvaluation evaluate_exits(BranchyModel& model, const Dataset& test,
-                              int batch_size = 32);
+                              int batch_size = 32, int num_threads = 0);
 
 /// Applies the early-exit rule for `confidence_threshold` in [0, 1].
 EarlyExitStats apply_threshold(const ExitEvaluation& eval,

@@ -46,21 +46,22 @@ std::vector<EpochStats> train_model(BranchyModel& model, const Dataset& train,
     int seen = 0, correct = 0;
     for (int start = 0; start < train.size(); start += config.batch_size) {
       const int end = std::min(start + config.batch_size, train.size());
-      std::vector<int> idx(order.begin() + start, order.begin() + end);
-      Tensor batch = train.batch_images(idx);
+      const int* idx = order.data() + start;
+      const int count = end - start;
+      Tensor batch = train.batch_images(idx, count);
       if (config.augment) {
         const int c = train.channels(), h = train.height(), w = train.width();
         const std::size_t per_img = static_cast<std::size_t>(c) * h * w;
-        for (std::size_t i = 0; i < idx.size(); ++i) {
-          Tensor img({c, h, w},
-                     std::vector<float>(batch.data() + i * per_img,
-                                        batch.data() + (i + 1) * per_img));
-          Tensor aug = augment_image(img, flip_symmetry, rng);
-          std::copy(aug.data(), aug.data() + per_img,
-                    batch.data() + i * per_img);
+        // Augment straight from the source image into the image's slot in
+        // the batch buffer: same rng draws and same values as the old
+        // copy-out/augment/copy-back, without two heap tensors per image.
+        for (int i = 0; i < count; ++i) {
+          augment_image_into(train.image(idx[i]).data(),
+                             batch.data() + static_cast<std::size_t>(i) * per_img,
+                             c, h, w, flip_symmetry, rng);
         }
       }
-      const std::vector<int> labels = train.batch_labels(idx);
+      const std::vector<int> labels = train.batch_labels(idx, count);
 
       auto logits = model.forward(batch, /*train=*/true);
       std::vector<Tensor> grads(logits.size());
@@ -75,17 +76,16 @@ std::vector<EpochStats> train_model(BranchyModel& model, const Dataset& train,
       model.backward(grads);
       optimizer.step();
 
-      stats.joint_loss += joint * static_cast<double>(idx.size());
+      stats.joint_loss += joint * static_cast<double>(count);
       const Tensor& final_logits = logits.back();
-      for (std::size_t i = 0; i < idx.size(); ++i) {
+      for (int i = 0; i < count; ++i) {
         int best = 0;
         for (int k = 1; k < final_logits.dim(1); ++k) {
-          if (final_logits.at2(static_cast<int>(i), k) >
-              final_logits.at2(static_cast<int>(i), best)) {
+          if (final_logits.at2(i, k) > final_logits.at2(i, best)) {
             best = k;
           }
         }
-        if (best == labels[i]) ++correct;
+        if (best == labels[static_cast<std::size_t>(i)]) ++correct;
         ++seen;
       }
     }

@@ -1,0 +1,292 @@
+// Tier-generic body of the blocked GEMM kernels (see kernels.hpp for the
+// semantics contract). Included by kernels.cpp once per ISA tier inside a
+// `#pragma GCC target` region and a tier namespace; ADAPEX_K_NR must be
+// defined to the sliver width (floats per C-tile row) before inclusion.
+// Everything here is `static` so each tier gets its own copy, and the inner
+// j-loops have constant trip counts so the auto-vectorizer keeps the
+// accumulator tiles in vector registers.
+//
+// No include guard: this file is included multiple times on purpose.
+
+// Register tile: kMR rows x kNR floats, held in vector registers across the
+// whole k loop of a block. Each tier picks its own geometry (see
+// kernels.cpp) sized to its register file.
+static constexpr int kMR = ADAPEX_K_MR;
+static constexpr int kNR = ADAPEX_K_NR;
+// Cache blocking: the direct kernel packs B panels of kKC x kNC floats.
+static constexpr int kKC = 256;
+static constexpr int kNC = 512;
+
+// ---------------------------------------------------------------------------
+// Direct micro-kernels: C tile accumulates in ascending-k order, seeded from
+// C (or from a per-row bias on the first k block), with the exact-zero skip
+// on the A operand. Byte-identical to ref::gemm_accumulate per element.
+
+static void micro_direct_tile(const float* a, int lda, const float* bp, float* c,
+                          int ldc, int klen, const float* row_bias,
+                          bool relu) {
+  float acc[kMR][kNR];
+  for (int r = 0; r < kMR; ++r) {
+    if (row_bias != nullptr) {
+      for (int j = 0; j < kNR; ++j) acc[r][j] = row_bias[r];
+    } else {
+      const float* crow = c + static_cast<std::size_t>(r) * ldc;
+      for (int j = 0; j < kNR; ++j) acc[r][j] = crow[j];
+    }
+  }
+  for (int kk = 0; kk < klen; ++kk) {
+    const float* brow = bp + static_cast<std::size_t>(kk) * kNR;
+    for (int r = 0; r < kMR; ++r) {
+      const float av = a[static_cast<std::size_t>(r) * lda + kk];
+      // Integer test for av == 0.0f (both signed zeros, never NaN): one
+      // shl+jz instead of ucomiss+jp+je in the hottest branch.
+      std::uint32_t abits;
+      std::memcpy(&abits, &av, sizeof(abits));
+      if ((abits << 1) == 0) continue;
+      for (int j = 0; j < kNR; ++j) acc[r][j] += av * brow[j];
+    }
+  }
+  for (int r = 0; r < kMR; ++r) {
+    float* crow = c + static_cast<std::size_t>(r) * ldc;
+    if (relu) {
+      for (int j = 0; j < kNR; ++j) {
+        crow[j] = acc[r][j] > 0.0f ? acc[r][j] : 0.0f;
+      }
+    } else {
+      for (int j = 0; j < kNR; ++j) crow[j] = acc[r][j];
+    }
+  }
+}
+
+static void micro_direct1(const float* a, const float* bp, float* c, int klen,
+                          const float* row_bias, bool relu) {
+  float acc[kNR];
+  if (row_bias != nullptr) {
+    for (int j = 0; j < kNR; ++j) acc[j] = *row_bias;
+  } else {
+    for (int j = 0; j < kNR; ++j) acc[j] = c[j];
+  }
+  for (int kk = 0; kk < klen; ++kk) {
+    const float av = a[kk];
+    std::uint32_t abits;
+    std::memcpy(&abits, &av, sizeof(abits));
+    if ((abits << 1) == 0) continue;  // av == 0.0f, signed-zero exact
+    const float* brow = bp + static_cast<std::size_t>(kk) * kNR;
+    for (int j = 0; j < kNR; ++j) acc[j] += av * brow[j];
+  }
+  if (relu) {
+    for (int j = 0; j < kNR; ++j) c[j] = acc[j] > 0.0f ? acc[j] : 0.0f;
+  } else {
+    for (int j = 0; j < kNR; ++j) c[j] = acc[j];
+  }
+}
+
+// Blocked C[M,N] (+)= A[M,K] * B[K,N] with optional fused row bias (seeds
+// the first k block instead of C) and ReLU on the final store. lda/ldb/ldc
+// are row strides of A/B/C.
+static void gemm_direct(const float* a, int lda, const float* b, int ldb,
+                        const float* row_bias, float* c, int ldc, int m, int k,
+                        int n, Epilogue epilogue) {
+  if (m <= 0 || n <= 0) return;
+  const bool relu = epilogue == Epilogue::kRelu;
+  if (k <= 0) {
+    // Degenerate reduction: the naive composition would fill the bias and
+    // apply the activation with no products; mirror that.
+    for (int i = 0; i < m; ++i) {
+      float* crow = c + static_cast<std::size_t>(i) * ldc;
+      for (int j = 0; j < n; ++j) {
+        float v = row_bias != nullptr ? row_bias[i] : crow[j];
+        if (relu) v = v > 0.0f ? v : 0.0f;
+        crow[j] = v;
+      }
+    }
+    return;
+  }
+  float* pack = pack_scratch(static_cast<std::size_t>(kKC) * kNC);
+  for (int jc = 0; jc < n; jc += kNC) {
+    const int nb = std::min(kNC, n - jc);
+    const int nfull = nb - nb % kNR;
+    const int slivers = nfull / kNR;
+    for (int kc = 0; kc < k; kc += kKC) {
+      const int kb = std::min(kKC, k - kc);
+      const bool first = kc == 0;
+      const bool last = kc + kb == k;
+      // Pack the B panel as kNR-wide slivers so the micro-kernel streams
+      // contiguous rows (values are only copied; numerics are untouched).
+      for (int s = 0; s < slivers; ++s) {
+        float* dst = pack + static_cast<std::size_t>(s) * kb * kNR;
+        const float* src = b + static_cast<std::size_t>(kc) * ldb + jc +
+                           static_cast<std::size_t>(s) * kNR;
+        for (int kk = 0; kk < kb; ++kk) {
+          std::memcpy(dst + static_cast<std::size_t>(kk) * kNR,
+                      src + static_cast<std::size_t>(kk) * ldb,
+                      sizeof(float) * kNR);
+        }
+      }
+      for (int ir = 0; ir < m; ir += kMR) {
+        const int rows = std::min(kMR, m - ir);
+        const float* arow = a + static_cast<std::size_t>(ir) * lda + kc;
+        float* crow = c + static_cast<std::size_t>(ir) * ldc + jc;
+        const float* bias_rows =
+            first && row_bias != nullptr ? row_bias + ir : nullptr;
+        const bool tile_relu = last && relu;
+        if (rows == kMR) {
+          for (int s = 0; s < slivers; ++s) {
+            micro_direct_tile(arow, lda, pack + static_cast<std::size_t>(s) * kb * kNR,
+                          crow + static_cast<std::size_t>(s) * kNR, ldc, kb,
+                          bias_rows, tile_relu);
+          }
+        } else {
+          for (int r = 0; r < rows; ++r) {
+            for (int s = 0; s < slivers; ++s) {
+              micro_direct1(arow + static_cast<std::size_t>(r) * lda,
+                            pack + static_cast<std::size_t>(s) * kb * kNR,
+                            crow + static_cast<std::size_t>(r) * ldc +
+                                static_cast<std::size_t>(s) * kNR,
+                            kb, bias_rows != nullptr ? bias_rows + r : nullptr,
+                            tile_relu);
+            }
+          }
+        }
+        // Column tail: same per-element reduction (bias seed, ascending k
+        // with exact-zero skip, ReLU on the last block), walked in i-k-j
+        // order so B streams row-wise instead of column-strided.
+        for (int r = 0; r < rows; ++r) {
+          const float* ar = arow + static_cast<std::size_t>(r) * lda;
+          float* cr = crow + static_cast<std::size_t>(r) * ldc;
+          if (bias_rows != nullptr) {
+            for (int j = nfull; j < nb; ++j) cr[j] = bias_rows[r];
+          }
+          for (int kk = 0; kk < kb; ++kk) {
+            const float av = ar[kk];
+            if (av == 0.0f) continue;
+            const float* brow =
+                b + static_cast<std::size_t>(kc + kk) * ldb + jc;
+            for (int j = nfull; j < nb; ++j) cr[j] += av * brow[j];
+          }
+          if (tile_relu) {
+            for (int j = nfull; j < nb; ++j) {
+              cr[j] = cr[j] > 0.0f ? cr[j] : 0.0f;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Dot micro-kernels: fresh accumulators start at zero, sum the full k range
+// in ascending order with no zero skip, then are combined with C (or a
+// per-column bias) once. Byte-identical to ref::gemm_a_bt_accumulate.
+
+static void micro_dot_tile(const float* a, int lda, const float* btp, float* c,
+                       int ldc, int k, const float* col_bias, bool relu) {
+  float acc[kMR][kNR];
+  for (int r = 0; r < kMR; ++r) {
+    for (int j = 0; j < kNR; ++j) acc[r][j] = 0.0f;
+  }
+  for (int kk = 0; kk < k; ++kk) {
+    const float* brow = btp + static_cast<std::size_t>(kk) * kNR;
+    for (int r = 0; r < kMR; ++r) {
+      const float av = a[static_cast<std::size_t>(r) * lda + kk];
+      for (int j = 0; j < kNR; ++j) acc[r][j] += av * brow[j];
+    }
+  }
+  for (int r = 0; r < kMR; ++r) {
+    float* crow = c + static_cast<std::size_t>(r) * ldc;
+    for (int j = 0; j < kNR; ++j) {
+      float v = col_bias != nullptr ? col_bias[j] + acc[r][j]
+                                    : crow[j] + acc[r][j];
+      if (relu) v = v > 0.0f ? v : 0.0f;
+      crow[j] = v;
+    }
+  }
+}
+
+static void micro_dot1(const float* a, const float* btp, float* c, int k,
+                       const float* col_bias, bool relu) {
+  float acc[kNR];
+  for (int j = 0; j < kNR; ++j) acc[j] = 0.0f;
+  for (int kk = 0; kk < k; ++kk) {
+    const float av = a[kk];
+    const float* brow = btp + static_cast<std::size_t>(kk) * kNR;
+    for (int j = 0; j < kNR; ++j) acc[j] += av * brow[j];
+  }
+  for (int j = 0; j < kNR; ++j) {
+    float v = col_bias != nullptr ? col_bias[j] + acc[j] : c[j] + acc[j];
+    if (relu) v = v > 0.0f ? v : 0.0f;
+    c[j] = v;
+  }
+}
+
+// Blocked C[M,N] (+)= A[M,K] * B^T with B stored [N,K], optional fused
+// column bias (replaces the read of C) and ReLU on the final store.
+static void gemm_dot(const float* a, int lda, const float* b, int ldb,
+                     const float* col_bias, float* c, int ldc, int m, int k,
+                     int n, Epilogue epilogue) {
+  if (m <= 0 || n <= 0) return;
+  const bool relu = epilogue == Epilogue::kRelu;
+  if (k <= 0) {
+    for (int i = 0; i < m; ++i) {
+      float* crow = c + static_cast<std::size_t>(i) * ldc;
+      for (int j = 0; j < n; ++j) {
+        float v = (col_bias != nullptr ? col_bias[j] : crow[j]) + 0.0f;
+        if (relu) v = v > 0.0f ? v : 0.0f;
+        crow[j] = v;
+      }
+    }
+    return;
+  }
+  const int nfull = n - n % kNR;
+  float* btp = pack_scratch(static_cast<std::size_t>(k) * kNR);
+  for (int js = 0; js < nfull; js += kNR) {
+    // Packed transpose of kNR rows of B: btp[kk][j] = b[js + j][kk].
+    for (int j = 0; j < kNR; ++j) {
+      const float* brow = b + static_cast<std::size_t>(js + j) * ldb;
+      for (int kk = 0; kk < k; ++kk) {
+        btp[static_cast<std::size_t>(kk) * kNR + j] = brow[kk];
+      }
+    }
+    const float* bias = col_bias != nullptr ? col_bias + js : nullptr;
+    for (int ir = 0; ir < m; ir += kMR) {
+      const int rows = std::min(kMR, m - ir);
+      const float* arow = a + static_cast<std::size_t>(ir) * lda;
+      float* crow = c + static_cast<std::size_t>(ir) * ldc + js;
+      if (rows == kMR) {
+        micro_dot_tile(arow, lda, btp, crow, ldc, k, bias, relu);
+      } else {
+        for (int r = 0; r < rows; ++r) {
+          micro_dot1(arow + static_cast<std::size_t>(r) * lda, btp,
+                     crow + static_cast<std::size_t>(r) * ldc, k, bias, relu);
+        }
+      }
+    }
+  }
+  // Column tail: scalar dot products with the same reduction order.
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a + static_cast<std::size_t>(i) * lda;
+    float* crow = c + static_cast<std::size_t>(i) * ldc;
+    for (int j = nfull; j < n; ++j) {
+      const float* brow = b + static_cast<std::size_t>(j) * ldb;
+      float acc = 0.0f;
+      for (int kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      float v = col_bias != nullptr ? col_bias[j] + acc : crow[j] + acc;
+      if (relu) v = v > 0.0f ? v : 0.0f;
+      crow[j] = v;
+    }
+  }
+}
+
+// Entry points for the dispatch table (see kernels.cpp).
+static void tier_gemm_direct(const float* a, const float* b,
+                             const float* row_bias, float* c, int m, int k,
+                             int n, Epilogue epilogue) {
+  gemm_direct(a, k, b, n, row_bias, c, n, m, k, n, epilogue);
+}
+
+static void tier_gemm_dot(const float* a, const float* b,
+                          const float* col_bias, float* c, int m, int k, int n,
+                          Epilogue epilogue) {
+  gemm_dot(a, k, b, k, col_bias, c, n, m, k, n, epilogue);
+}

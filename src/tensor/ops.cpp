@@ -5,52 +5,23 @@
 #include <cstring>
 #include <limits>
 
+#include "tensor/kernels.hpp"
+
 namespace adapex::ops {
 
 void gemm_accumulate(const float* a, const float* b, float* c, int m, int k,
                      int n) {
-  // i-k-j loop order: streams through B and C rows; good cache behaviour for
-  // the (small-M, large-N) shapes im2col produces.
-  for (int i = 0; i < m; ++i) {
-    const float* arow = a + static_cast<std::size_t>(i) * k;
-    float* crow = c + static_cast<std::size_t>(i) * n;
-    for (int kk = 0; kk < k; ++kk) {
-      const float av = arow[kk];
-      if (av == 0.0f) continue;  // quantized weights are often exactly zero
-      const float* brow = b + static_cast<std::size_t>(kk) * n;
-      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  kernels::gemm_accumulate(a, b, c, m, k, n);
 }
 
 void gemm_at_b_accumulate(const float* a, const float* b, float* c, int m,
                           int k, int n) {
-  // C[M,N] += A^T B with A stored [K,M].
-  for (int kk = 0; kk < k; ++kk) {
-    const float* arow = a + static_cast<std::size_t>(kk) * m;
-    const float* brow = b + static_cast<std::size_t>(kk) * n;
-    for (int i = 0; i < m; ++i) {
-      const float av = arow[i];
-      if (av == 0.0f) continue;
-      float* crow = c + static_cast<std::size_t>(i) * n;
-      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  kernels::gemm_at_b_accumulate(a, b, c, m, k, n);
 }
 
 void gemm_a_bt_accumulate(const float* a, const float* b, float* c, int m,
                           int k, int n) {
-  // C[M,N] += A B^T with B stored [N,K]: dot products of rows.
-  for (int i = 0; i < m; ++i) {
-    const float* arow = a + static_cast<std::size_t>(i) * k;
-    float* crow = c + static_cast<std::size_t>(i) * n;
-    for (int j = 0; j < n; ++j) {
-      const float* brow = b + static_cast<std::size_t>(j) * k;
-      float acc = 0.0f;
-      for (int kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
-      crow[j] += acc;
-    }
-  }
+  kernels::gemm_a_bt_accumulate(a, b, c, m, k, n);
 }
 
 int out_dim(int in, int kernel, int stride) {
@@ -104,7 +75,8 @@ void col2im_accumulate(const float* col, int channels, int height, int width,
 }
 
 Tensor conv2d_forward(const Tensor& input, const Tensor& weight,
-                      const Tensor& bias, std::vector<float>& col_scratch) {
+                      const Tensor& bias, std::vector<float>& col_scratch,
+                      bool fuse_relu) {
   ADAPEX_CHECK(input.ndim() == 4, "conv2d input must be [N,C,H,W]");
   ADAPEX_CHECK(weight.ndim() == 4, "conv2d weight must be [F,C,k,k]");
   const int batch = input.dim(0), cin = input.dim(1), h = input.dim(2),
@@ -119,18 +91,18 @@ Tensor conv2d_forward(const Tensor& input, const Tensor& weight,
   col_scratch.resize(static_cast<std::size_t>(kdim) * patch);
 
   Tensor out({batch, fout, oh, ow});
+  const auto epilogue =
+      fuse_relu ? kernels::Epilogue::kRelu : kernels::Epilogue::kNone;
   for (int n = 0; n < batch; ++n) {
     im2col(input.data() + static_cast<std::size_t>(n) * cin * h * w, cin, h, w,
            k, col_scratch.data());
     float* optr = out.data() + static_cast<std::size_t>(n) * fout * patch;
-    if (!bias.empty()) {
-      for (int f = 0; f < fout; ++f) {
-        std::fill(optr + static_cast<std::size_t>(f) * patch,
-                  optr + static_cast<std::size_t>(f + 1) * patch, bias[f]);
-      }
-    }
-    gemm_accumulate(weight.data(), col_scratch.data(), optr, fout, kdim,
-                    static_cast<int>(patch));
+    // Bias broadcast and (optionally) ReLU are fused into the kernel's
+    // accumulate/store instead of separate fill/activation passes.
+    kernels::gemm_bias_accumulate(weight.data(), col_scratch.data(),
+                                  bias.empty() ? nullptr : bias.data(), optr,
+                                  fout, kdim, static_cast<int>(patch),
+                                  epilogue);
   }
   return out;
 }
@@ -146,7 +118,10 @@ void conv2d_backward(const Tensor& input, const Tensor& weight,
   const int kdim = cin * k * k;
   const std::size_t patch = static_cast<std::size_t>(oh) * ow;
   col_scratch.resize(static_cast<std::size_t>(kdim) * patch);
-  std::vector<float> dcol(static_cast<std::size_t>(kdim) * patch);
+  // Reused across calls (thread_local keeps pool workers independent) so the
+  // training hot loop does not allocate a fresh dcol buffer per image batch.
+  thread_local std::vector<float> dcol;
+  dcol.resize(static_cast<std::size_t>(kdim) * patch);
 
   grad_input = Tensor(input.shape());
   for (int n = 0; n < batch; ++n) {
@@ -155,12 +130,12 @@ void conv2d_backward(const Tensor& input, const Tensor& weight,
         grad_output.data() + static_cast<std::size_t>(n) * fout * patch;
     // dW += dOut * col^T
     im2col(img, cin, h, w, k, col_scratch.data());
-    gemm_a_bt_accumulate(dout, col_scratch.data(), grad_weight.data(), fout,
-                         static_cast<int>(patch), kdim);
+    kernels::gemm_a_bt_accumulate(dout, col_scratch.data(), grad_weight.data(),
+                                  fout, static_cast<int>(patch), kdim);
     // dcol = W^T * dOut
     std::fill(dcol.begin(), dcol.end(), 0.0f);
-    gemm_at_b_accumulate(weight.data(), dout, dcol.data(), kdim, fout,
-                         static_cast<int>(patch));
+    kernels::gemm_at_b_accumulate(weight.data(), dout, dcol.data(), kdim, fout,
+                                  static_cast<int>(patch));
     col2im_accumulate(dcol.data(), cin, h, w, k,
                       grad_input.data() +
                           static_cast<std::size_t>(n) * cin * h * w);
@@ -176,20 +151,19 @@ void conv2d_backward(const Tensor& input, const Tensor& weight,
 }
 
 Tensor linear_forward(const Tensor& input, const Tensor& weight,
-                      const Tensor& bias) {
+                      const Tensor& bias, bool fuse_relu) {
   ADAPEX_CHECK(input.ndim() == 2, "linear input must be [N,In]");
   const int batch = input.dim(0), in = input.dim(1), out = weight.dim(0);
   ADAPEX_CHECK(weight.dim(1) == in,
                "linear weight expects " + std::to_string(weight.dim(1)) +
                    " inputs, got " + std::to_string(in));
   Tensor y({batch, out});
-  if (!bias.empty()) {
-    for (int n = 0; n < batch; ++n) {
-      for (int f = 0; f < out; ++f) y.at2(n, f) = bias[static_cast<std::size_t>(f)];
-    }
-  }
-  // y += x * W^T
-  gemm_a_bt_accumulate(input.data(), weight.data(), y.data(), batch, in, out);
+  // y = epilogue(bias + x * W^T): the bias broadcast (and optional ReLU) is
+  // fused into the kernel's store instead of a separate fill pass.
+  kernels::gemm_a_bt_bias(
+      input.data(), weight.data(), bias.empty() ? nullptr : bias.data(),
+      y.data(), batch, in, out,
+      fuse_relu ? kernels::Epilogue::kRelu : kernels::Epilogue::kNone);
   return y;
 }
 
@@ -199,11 +173,11 @@ void linear_backward(const Tensor& input, const Tensor& weight,
   const int batch = input.dim(0), in = input.dim(1), out = weight.dim(0);
   grad_input = Tensor(input.shape());
   // dX = dY * W
-  gemm_accumulate(grad_output.data(), weight.data(), grad_input.data(), batch,
-                  out, in);
+  kernels::gemm_accumulate(grad_output.data(), weight.data(),
+                           grad_input.data(), batch, out, in);
   // dW += dY^T * X
-  gemm_at_b_accumulate(grad_output.data(), input.data(), grad_weight.data(),
-                       out, batch, in);
+  kernels::gemm_at_b_accumulate(grad_output.data(), input.data(),
+                                grad_weight.data(), out, batch, in);
   if (!grad_bias.empty()) {
     for (int n = 0; n < batch; ++n) {
       for (int f = 0; f < out; ++f) {
@@ -225,19 +199,52 @@ Tensor maxpool_forward(const Tensor& input, int kernel, int stride,
     for (int c = 0; c < ch; ++c) {
       const float* plane =
           input.data() + (static_cast<std::size_t>(n) * ch + c) * h * w;
+      if (kernel == 2 && stride == 2) {
+        // Fast path for the pool shape the CNV topology uses everywhere:
+        // hoist the two row pointers and the flat base index out of the
+        // window scan. Same scan order ((ky,kx) ascending) and same strict
+        // `>` compare against a -inf start as the generic path, so values
+        // and argmax ties are bit-identical.
+        for (int y = 0; y < oh; ++y) {
+          const int iy0 = 2 * y;
+          const float* r0 = plane + static_cast<std::size_t>(iy0) * w;
+          const float* r1 = r0 + w;
+          for (int x = 0; x < ow; ++x) {
+            const int ix0 = 2 * x;
+            const int base = iy0 * w + ix0;
+            float best = -std::numeric_limits<float>::infinity();
+            int best_idx = 0;
+            if (r0[ix0] > best) { best = r0[ix0]; best_idx = base; }
+            if (r0[ix0 + 1] > best) { best = r0[ix0 + 1]; best_idx = base + 1; }
+            if (r1[ix0] > best) { best = r1[ix0]; best_idx = base + w; }
+            if (r1[ix0 + 1] > best) {
+              best = r1[ix0 + 1];
+              best_idx = base + w + 1;
+            }
+            out[oi] = best;
+            argmax[oi] = best_idx;
+            ++oi;
+          }
+        }
+        continue;
+      }
       for (int y = 0; y < oh; ++y) {
+        const int iy0 = y * stride;
         for (int x = 0; x < ow; ++x) {
+          const int ix0 = x * stride;
           float best = -std::numeric_limits<float>::infinity();
           int best_idx = 0;
+          const float* wrow = plane + static_cast<std::size_t>(iy0) * w + ix0;
+          int rowbase = iy0 * w + ix0;
           for (int ky = 0; ky < kernel; ++ky) {
             for (int kx = 0; kx < kernel; ++kx) {
-              const int iy = y * stride + ky, ix = x * stride + kx;
-              const int idx = iy * w + ix;
-              if (plane[idx] > best) {
-                best = plane[idx];
-                best_idx = idx;
+              if (wrow[kx] > best) {
+                best = wrow[kx];
+                best_idx = rowbase + kx;
               }
             }
+            wrow += w;
+            rowbase += w;
           }
           out[oi] = best;
           argmax[oi] = best_idx;

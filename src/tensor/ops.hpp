@@ -5,6 +5,11 @@
 // for quantization-aware training. All kernels are single-threaded and
 // deterministic; convolution is unpadded with stride 1 (the CNV topology the
 // paper evaluates uses only 3x3 valid convolutions).
+//
+// The GEMMs route through the blocked, vectorized kernel layer in
+// tensor/kernels.hpp, which is byte-identical to the naive references it
+// replaced (see the determinism contract there and DESIGN.md "Kernel
+// layer").
 
 #pragma once
 
@@ -40,8 +45,11 @@ void col2im_accumulate(const float* col, int channels, int height, int width,
 
 /// Convolution forward. input [N,C,H,W], weight [F,C,k,k], bias [F] (may be
 /// empty), output [N,F,oh,ow]. `col_scratch` must hold C*k*k*oh*ow floats.
+/// With fuse_relu the ReLU is applied in the GEMM epilogue — bit-identical
+/// to conv2d_forward followed by relu_forward, without the extra pass.
 Tensor conv2d_forward(const Tensor& input, const Tensor& weight,
-                      const Tensor& bias, std::vector<float>& col_scratch);
+                      const Tensor& bias, std::vector<float>& col_scratch,
+                      bool fuse_relu = false);
 
 /// Convolution backward: fills grad_input (same shape as input), accumulates
 /// into grad_weight/grad_bias. `col_scratch` as in conv2d_forward.
@@ -51,8 +59,10 @@ void conv2d_backward(const Tensor& input, const Tensor& weight,
                      std::vector<float>& col_scratch);
 
 /// Linear forward: input [N,In], weight [Out,In], bias [Out] -> [N,Out].
+/// With fuse_relu the ReLU is applied in the GEMM epilogue — bit-identical
+/// to linear_forward followed by relu_forward, without the extra pass.
 Tensor linear_forward(const Tensor& input, const Tensor& weight,
-                      const Tensor& bias);
+                      const Tensor& bias, bool fuse_relu = false);
 
 /// Linear backward.
 void linear_backward(const Tensor& input, const Tensor& weight,

@@ -1,0 +1,387 @@
+// Differential tests for the blocked kernel layer (tensor/kernels.hpp):
+// every blocked kernel must be byte-identical to the retained naive
+// reference at awkward shapes, fused epilogues must equal their unfused
+// compositions bit for bit, all ISA tiers must agree, and the end-to-end
+// train -> eval pipeline must be byte-identical at any thread count.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "data/dataset.hpp"
+#include "model/cnv.hpp"
+#include "nn/eval.hpp"
+#include "nn/trainer.hpp"
+#include "tensor/kernels.hpp"
+#include "tensor/ops.hpp"
+
+namespace adapex {
+namespace {
+
+// Shapes chosen to exercise every tail path of the blocked kernels: smaller
+// than one register tile, exact tile multiples, one-past multiples, primes,
+// degenerate single rows/columns, and k larger than the cache block.
+struct Shape {
+  int m, k, n;
+};
+const Shape kShapes[] = {
+    {1, 1, 1},   {1, 7, 1},    {2, 3, 5},    {3, 5, 7},    {4, 8, 8},
+    {4, 16, 32}, {5, 17, 33},  {7, 129, 65}, {8, 256, 64}, {9, 257, 129},
+    {1, 300, 9}, {13, 31, 97}, {16, 64, 96}, {33, 10, 31},
+};
+
+std::vector<float> random_matrix(std::size_t len, std::uint64_t seed,
+                                 bool inject_zeros) {
+  Rng rng(seed);
+  std::vector<float> out(len);
+  for (auto& v : out) {
+    // uniform01 in [0,1): shift to be sign-varied.
+    v = static_cast<float>(rng.uniform() * 2.0 - 1.0);
+    // ~25% exact zeros to exercise the zero-skip path (quantized weights).
+    if (inject_zeros && rng.bernoulli(0.25)) v = 0.0f;
+  }
+  return out;
+}
+
+TEST(Kernels, GemmAccumulateMatchesReferenceBitwise) {
+  for (const auto& s : kShapes) {
+    const auto a = random_matrix(static_cast<std::size_t>(s.m) * s.k, 11, true);
+    const auto b = random_matrix(static_cast<std::size_t>(s.k) * s.n, 22, false);
+    // Nonzero initial C: accumulate semantics, not overwrite.
+    auto c_ref = random_matrix(static_cast<std::size_t>(s.m) * s.n, 33, false);
+    auto c_blk = c_ref;
+    kernels::ref::gemm_accumulate(a.data(), b.data(), c_ref.data(), s.m, s.k,
+                                  s.n);
+    kernels::gemm_accumulate(a.data(), b.data(), c_blk.data(), s.m, s.k, s.n);
+    ASSERT_EQ(0, std::memcmp(c_ref.data(), c_blk.data(),
+                             c_ref.size() * sizeof(float)))
+        << "m=" << s.m << " k=" << s.k << " n=" << s.n;
+  }
+}
+
+TEST(Kernels, GemmAtBMatchesReferenceBitwise) {
+  for (const auto& s : kShapes) {
+    // A stored [K,M].
+    const auto a = random_matrix(static_cast<std::size_t>(s.k) * s.m, 44, true);
+    const auto b = random_matrix(static_cast<std::size_t>(s.k) * s.n, 55, false);
+    auto c_ref = random_matrix(static_cast<std::size_t>(s.m) * s.n, 66, false);
+    auto c_blk = c_ref;
+    kernels::ref::gemm_at_b_accumulate(a.data(), b.data(), c_ref.data(), s.m,
+                                       s.k, s.n);
+    kernels::gemm_at_b_accumulate(a.data(), b.data(), c_blk.data(), s.m, s.k,
+                                  s.n);
+    ASSERT_EQ(0, std::memcmp(c_ref.data(), c_blk.data(),
+                             c_ref.size() * sizeof(float)))
+        << "m=" << s.m << " k=" << s.k << " n=" << s.n;
+  }
+}
+
+TEST(Kernels, GemmABtMatchesReferenceBitwise) {
+  for (const auto& s : kShapes) {
+    const auto a = random_matrix(static_cast<std::size_t>(s.m) * s.k, 77, false);
+    // B stored [N,K].
+    const auto b = random_matrix(static_cast<std::size_t>(s.n) * s.k, 88, false);
+    // Nonzero initial C is the important case: the dot kernel must keep the
+    // reference's "fresh accumulator, then one add into C" order, which is
+    // NOT equivalent to seeding the accumulator with C.
+    auto c_ref = random_matrix(static_cast<std::size_t>(s.m) * s.n, 99, false);
+    auto c_blk = c_ref;
+    kernels::ref::gemm_a_bt_accumulate(a.data(), b.data(), c_ref.data(), s.m,
+                                       s.k, s.n);
+    kernels::gemm_a_bt_accumulate(a.data(), b.data(), c_blk.data(), s.m, s.k,
+                                  s.n);
+    ASSERT_EQ(0, std::memcmp(c_ref.data(), c_blk.data(),
+                             c_ref.size() * sizeof(float)))
+        << "m=" << s.m << " k=" << s.k << " n=" << s.n;
+  }
+}
+
+// ~90% exact zeros in A trips the adaptive density fallback (scalar
+// reference path) even at sliver-wide N; the output bytes must not care
+// which implementation dispatch picked.
+TEST(Kernels, SparseFallbackMatchesReferenceBitwise) {
+  for (const auto& s : kShapes) {
+    Rng zrng(1234);
+    auto a = random_matrix(static_cast<std::size_t>(s.m) * s.k, 111, false);
+    for (auto& v : a) {
+      if (zrng.bernoulli(0.9)) v = 0.0f;
+    }
+    const auto b = random_matrix(static_cast<std::size_t>(s.k) * s.n, 112, false);
+    const auto bias = random_matrix(static_cast<std::size_t>(s.m), 113, false);
+    auto c_ref = random_matrix(static_cast<std::size_t>(s.m) * s.n, 114, false);
+    auto c_blk = c_ref;
+    kernels::ref::gemm_accumulate(a.data(), b.data(), c_ref.data(), s.m, s.k,
+                                  s.n);
+    kernels::gemm_accumulate(a.data(), b.data(), c_blk.data(), s.m, s.k, s.n);
+    ASSERT_EQ(0, std::memcmp(c_ref.data(), c_blk.data(),
+                             c_ref.size() * sizeof(float)))
+        << "m=" << s.m << " k=" << s.k << " n=" << s.n;
+
+    // Fused bias+relu through the same fallback.
+    std::vector<float> c_fref(static_cast<std::size_t>(s.m) * s.n);
+    for (int i = 0; i < s.m; ++i) {
+      for (int j = 0; j < s.n; ++j) {
+        c_fref[static_cast<std::size_t>(i) * s.n + j] =
+            bias[static_cast<std::size_t>(i)];
+      }
+    }
+    kernels::ref::gemm_accumulate(a.data(), b.data(), c_fref.data(), s.m, s.k,
+                                  s.n);
+    for (auto& v : c_fref) v = v > 0.0f ? v : 0.0f;
+    std::vector<float> c_fused(static_cast<std::size_t>(s.m) * s.n, -1.0f);
+    kernels::gemm_bias_accumulate(a.data(), b.data(), bias.data(),
+                                  c_fused.data(), s.m, s.k, s.n,
+                                  kernels::Epilogue::kRelu);
+    ASSERT_EQ(0, std::memcmp(c_fref.data(), c_fused.data(),
+                             c_fref.size() * sizeof(float)))
+        << "m=" << s.m << " k=" << s.k << " n=" << s.n;
+
+    // A^T B with sparse A ([K,M]) takes the ref fallback before transposing.
+    const auto at = random_matrix(static_cast<std::size_t>(s.k) * s.m, 115, false);
+    auto at_sparse = at;
+    Rng zrng2(5678);
+    for (auto& v : at_sparse) {
+      if (zrng2.bernoulli(0.9)) v = 0.0f;
+    }
+    auto c_tref = random_matrix(static_cast<std::size_t>(s.m) * s.n, 116, false);
+    auto c_tblk = c_tref;
+    kernels::ref::gemm_at_b_accumulate(at_sparse.data(), b.data(),
+                                       c_tref.data(), s.m, s.k, s.n);
+    kernels::gemm_at_b_accumulate(at_sparse.data(), b.data(), c_tblk.data(),
+                                  s.m, s.k, s.n);
+    ASSERT_EQ(0, std::memcmp(c_tref.data(), c_tblk.data(),
+                             c_tref.size() * sizeof(float)))
+        << "m=" << s.m << " k=" << s.k << " n=" << s.n;
+  }
+}
+
+TEST(Kernels, FusedRowBiasEpilogueMatchesComposition) {
+  for (const auto& s : kShapes) {
+    const auto a = random_matrix(static_cast<std::size_t>(s.m) * s.k, 101, true);
+    const auto b = random_matrix(static_cast<std::size_t>(s.k) * s.n, 102, false);
+    const auto bias = random_matrix(static_cast<std::size_t>(s.m), 103, false);
+    // Composition: fill rows with bias, then plain accumulate, then relu.
+    std::vector<float> c_ref(static_cast<std::size_t>(s.m) * s.n);
+    for (int i = 0; i < s.m; ++i) {
+      for (int j = 0; j < s.n; ++j) {
+        c_ref[static_cast<std::size_t>(i) * s.n + j] =
+            bias[static_cast<std::size_t>(i)];
+      }
+    }
+    kernels::ref::gemm_accumulate(a.data(), b.data(), c_ref.data(), s.m, s.k,
+                                  s.n);
+    for (auto& v : c_ref) v = v > 0.0f ? v : 0.0f;
+
+    std::vector<float> c_fused(static_cast<std::size_t>(s.m) * s.n, -1.0f);
+    kernels::gemm_bias_accumulate(a.data(), b.data(), bias.data(),
+                                  c_fused.data(), s.m, s.k, s.n,
+                                  kernels::Epilogue::kRelu);
+    ASSERT_EQ(0, std::memcmp(c_ref.data(), c_fused.data(),
+                             c_ref.size() * sizeof(float)))
+        << "m=" << s.m << " k=" << s.k << " n=" << s.n;
+  }
+}
+
+TEST(Kernels, FusedColBiasEpilogueMatchesComposition) {
+  for (const auto& s : kShapes) {
+    const auto a = random_matrix(static_cast<std::size_t>(s.m) * s.k, 201, false);
+    const auto b = random_matrix(static_cast<std::size_t>(s.n) * s.k, 202, false);
+    const auto bias = random_matrix(static_cast<std::size_t>(s.n), 203, false);
+    std::vector<float> c_ref(static_cast<std::size_t>(s.m) * s.n);
+    for (int i = 0; i < s.m; ++i) {
+      for (int j = 0; j < s.n; ++j) {
+        c_ref[static_cast<std::size_t>(i) * s.n + j] =
+            bias[static_cast<std::size_t>(j)];
+      }
+    }
+    kernels::ref::gemm_a_bt_accumulate(a.data(), b.data(), c_ref.data(), s.m,
+                                       s.k, s.n);
+    for (auto& v : c_ref) v = v > 0.0f ? v : 0.0f;
+
+    std::vector<float> c_fused(static_cast<std::size_t>(s.m) * s.n, -1.0f);
+    kernels::gemm_a_bt_bias(a.data(), b.data(), bias.data(), c_fused.data(),
+                            s.m, s.k, s.n, kernels::Epilogue::kRelu);
+    ASSERT_EQ(0, std::memcmp(c_ref.data(), c_fused.data(),
+                             c_ref.size() * sizeof(float)))
+        << "m=" << s.m << " k=" << s.k << " n=" << s.n;
+  }
+}
+
+TEST(Kernels, AllSupportedIsaTiersAgreeBitwise) {
+  const std::string initial = kernels::active_isa();
+  const Shape s{9, 257, 129};
+  const auto a = random_matrix(static_cast<std::size_t>(s.m) * s.k, 301, true);
+  const auto b = random_matrix(static_cast<std::size_t>(s.k) * s.n, 302, false);
+  const auto bt = random_matrix(static_cast<std::size_t>(s.n) * s.k, 303, false);
+  const auto c0 = random_matrix(static_cast<std::size_t>(s.m) * s.n, 304, false);
+
+  std::vector<std::vector<float>> direct_results;
+  std::vector<std::vector<float>> dot_results;
+  for (const char* isa : {"sse2", "avx2", "avx512"}) {
+    try {
+      kernels::force_isa(isa);
+    } catch (const ConfigError&) {
+      continue;  // host lacks this tier
+    }
+    auto c_direct = c0;
+    kernels::gemm_accumulate(a.data(), b.data(), c_direct.data(), s.m, s.k,
+                             s.n);
+    direct_results.push_back(std::move(c_direct));
+    auto c_dot = c0;
+    kernels::gemm_a_bt_accumulate(a.data(), bt.data(), c_dot.data(), s.m, s.k,
+                                  s.n);
+    dot_results.push_back(std::move(c_dot));
+  }
+  kernels::force_isa(initial.c_str());
+
+  ASSERT_GE(direct_results.size(), 1u);  // sse2 is always supported
+  for (std::size_t i = 1; i < direct_results.size(); ++i) {
+    EXPECT_EQ(0, std::memcmp(direct_results[0].data(),
+                             direct_results[i].data(),
+                             direct_results[0].size() * sizeof(float)));
+    EXPECT_EQ(0,
+              std::memcmp(dot_results[0].data(), dot_results[i].data(),
+                          dot_results[0].size() * sizeof(float)));
+  }
+}
+
+TEST(Kernels, ForceIsaRejectsUnknownName) {
+  EXPECT_THROW(kernels::force_isa("avx9000"), ConfigError);
+  EXPECT_THROW(kernels::force_isa(nullptr), Error);
+}
+
+TEST(Kernels, MaxpoolMatchesNaiveReferenceWithArgmax) {
+  Rng rng(7);
+  for (const auto [h, w, kernel, stride] :
+       {std::array<int, 4>{8, 8, 2, 2}, std::array<int, 4>{9, 7, 2, 2},
+        std::array<int, 4>{8, 8, 3, 1}, std::array<int, 4>{11, 5, 3, 2}}) {
+    Tensor x({2, 3, h, w});
+    for (std::size_t i = 0; i < x.numel(); ++i) {
+      x[i] = static_cast<float>(rng.uniform() * 2.0 - 1.0);
+      if (rng.bernoulli(0.2)) x[i] = 0.5f;  // ties exercise argmax order
+    }
+    std::vector<int> argmax;
+    Tensor out = ops::maxpool_forward(x, kernel, stride, argmax);
+
+    // Naive reference: the original unhoisted scan.
+    const int oh = ops::out_dim(h, kernel, stride);
+    const int ow = ops::out_dim(w, kernel, stride);
+    std::size_t oi = 0;
+    for (int n = 0; n < 2; ++n) {
+      for (int c = 0; c < 3; ++c) {
+        const float* plane =
+            x.data() + (static_cast<std::size_t>(n) * 3 + c) * h * w;
+        for (int y = 0; y < oh; ++y) {
+          for (int xx = 0; xx < ow; ++xx) {
+            float best = -std::numeric_limits<float>::infinity();
+            int best_idx = 0;
+            for (int ky = 0; ky < kernel; ++ky) {
+              for (int kx = 0; kx < kernel; ++kx) {
+                const int idx = (y * stride + ky) * w + (xx * stride + kx);
+                if (plane[idx] > best) {
+                  best = plane[idx];
+                  best_idx = idx;
+                }
+              }
+            }
+            ASSERT_EQ(best, out[oi]) << "k=" << kernel << " s=" << stride;
+            ASSERT_EQ(best_idx, argmax[oi]) << "k=" << kernel
+                                            << " s=" << stride;
+            ++oi;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(Kernels, AugmentImageIntoMatchesAugmentImage) {
+  Rng fill(5);
+  Tensor img({3, 16, 16});
+  for (std::size_t i = 0; i < img.numel(); ++i) {
+    img[i] = static_cast<float>(fill.uniform());
+  }
+  for (bool flip : {false, true}) {
+    // Same seed on both sides: the draws (dx, dy, flip) must line up.
+    Rng rng_a(99), rng_b(99);
+    for (int round = 0; round < 8; ++round) {
+      Tensor via_tensor = augment_image(img, flip, rng_a);
+      std::vector<float> via_span(img.numel());
+      augment_image_into(img.data(), via_span.data(), 3, 16, 16, flip, rng_b);
+      ASSERT_EQ(0, std::memcmp(via_tensor.data(), via_span.data(),
+                               via_span.size() * sizeof(float)));
+    }
+  }
+}
+
+TEST(Kernels, FusedForwardOpsMatchUnfusedCompositionBitwise) {
+  Rng rng(21);
+  Tensor x({2, 3, 12, 12});
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    x[i] = static_cast<float>(rng.uniform() * 2.0 - 1.0);
+  }
+  Tensor wt({5, 3, 3, 3});
+  wt.randn_(rng, 0.5f);
+  Tensor bias({5});
+  bias.randn_(rng, 0.5f);
+  std::vector<float> scratch;
+  Tensor plain = ops::relu_forward(ops::conv2d_forward(x, wt, bias, scratch));
+  Tensor fused = ops::conv2d_forward(x, wt, bias, scratch, /*fuse_relu=*/true);
+  ASSERT_EQ(plain.shape(), fused.shape());
+  EXPECT_EQ(0, std::memcmp(plain.data(), fused.data(),
+                           plain.numel() * sizeof(float)));
+
+  Tensor xl({4, 30});
+  for (std::size_t i = 0; i < xl.numel(); ++i) {
+    xl[i] = static_cast<float>(rng.uniform() * 2.0 - 1.0);
+  }
+  Tensor wl({9, 30});
+  wl.randn_(rng, 0.5f);
+  Tensor bl({9});
+  bl.randn_(rng, 0.5f);
+  Tensor lplain = ops::relu_forward(ops::linear_forward(xl, wl, bl));
+  Tensor lfused = ops::linear_forward(xl, wl, bl, /*fuse_relu=*/true);
+  ASSERT_EQ(lplain.shape(), lfused.shape());
+  EXPECT_EQ(0, std::memcmp(lplain.data(), lfused.data(),
+                           lplain.numel() * sizeof(float)));
+}
+
+// End-to-end keystone: a seeded train -> eval pipeline must produce
+// byte-identical evaluation records whether the eval runs serially or across
+// worker threads (the batch grid and per-batch math are thread-invariant).
+TEST(Kernels, TrainEvalByteIdenticalAcrossThreadCounts) {
+  SyntheticSpec spec = cifar10_like_spec();
+  spec.train_size = 60;
+  spec.test_size = 50;
+  SyntheticDataset data = make_synthetic(spec);
+
+  Rng rng(42);
+  CnvConfig cfg = CnvConfig{}.scaled(0.125);
+  cfg.num_classes = spec.num_classes;
+  BranchyModel model = build_cnv_with_exits(cfg, paper_exits_config(false), rng);
+  TrainConfig tc;
+  tc.epochs = 1;
+  tc.batch_size = 16;
+  train_model(model, data.train, spec.flip_symmetry, tc);
+
+  const auto serial = evaluate_exits(model, data.test, 16, /*num_threads=*/1);
+  for (int threads : {2, 4}) {
+    const auto parallel = evaluate_exits(model, data.test, 16, threads);
+    ASSERT_EQ(serial.confidence.size(), parallel.confidence.size());
+    for (std::size_t s = 0; s < serial.confidence.size(); ++s) {
+      ASSERT_EQ(0, std::memcmp(serial.confidence[s].data(),
+                               parallel.confidence[s].data(),
+                               serial.confidence[s].size() * sizeof(float)))
+          << "threads=" << threads << " sample=" << s;
+      ASSERT_TRUE(serial.correct[s] == parallel.correct[s]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace adapex
