@@ -1,0 +1,161 @@
+// Dataflow-verifier agreement sweep: static bounds vs. the simulator.
+//
+// Sweeps the CNV early-exit design space (prune rate x folding style x exit
+// distribution, no training needed — the verifier only reads the compiled
+// accelerator) and cross-validates the reach-aware static model against the
+// transaction-level pipeline simulator on every point:
+//
+//   - the reach-scaled steady-state II must match the measured bottleneck
+//     pace within 1%;
+//   - every link's measured FIFO high-water mark must land inside the
+//     static occupancy bounds [lower, upper].
+//
+// Beyond pass/fail, the bench reports *bound tightness* — how much slack
+// the proven-sufficient upper bound leaves over the measured high-water
+// mark (upper/measured, lower is better) — which is the figure of merit
+// for using the bounds instead of simulation during design-space pruning.
+//
+//   ./build/bench/bench_verifier            # full sweep
+//   ./build/bench/bench_verifier --smoke    # CI subset, exits nonzero on
+//                                           # any disagreement
+//
+// Emits results/verifier_agreement.csv.
+
+#include <algorithm>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/dataflow.hpp"
+#include "common.hpp"
+#include "pruning/pruning.hpp"
+
+namespace {
+
+using namespace adapex;
+
+std::string fractions_label(const std::vector<double>& f) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    if (i > 0) os << "/";
+    os << f[i];
+  }
+  return os.str();
+}
+
+std::string fmt(double v, int precision = 3) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << v;
+  return os.str();
+}
+
+struct SweepPoint {
+  std::string style;
+  int rate_pct = 0;
+  std::vector<double> fractions;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  bench::print_header("verifier", "static dataflow bounds vs. simulation");
+
+  const std::vector<int> rates = smoke ? std::vector<int>{0, 50}
+                                       : std::vector<int>{0, 25, 50, 75};
+  const std::vector<std::string> styles =
+      smoke ? std::vector<std::string>{"styled"}
+            : std::vector<std::string>{"styled", "default"};
+  const std::vector<std::vector<double>> fraction_grid =
+      smoke ? std::vector<std::vector<double>>{{0.5, 0.3, 0.2},
+                                               {0.1, 0.2, 0.7}}
+            : std::vector<std::vector<double>>{{0.8, 0.15, 0.05},
+                                               {0.5, 0.3, 0.2},
+                                               {0.2, 0.3, 0.5},
+                                               {1.0 / 3, 1.0 / 3, 1.0 / 3},
+                                               {0.05, 0.05, 0.9}};
+
+  std::vector<SweepPoint> points;
+  for (const auto& style : styles) {
+    for (int rate : rates) {
+      for (const auto& fr : fraction_grid) {
+        points.push_back({style, rate, fr});
+      }
+    }
+  }
+
+  TextTable table({"style", "prune%", "fractions", "images", "static_ii",
+                   "measured_ii", "ii_err%", "links", "mean_up/hw",
+                   "max_up/hw", "mean_hw/low", "result"});
+  bench::Timer timer;
+  int failures = 0;
+
+  const double scale = 0.25;
+  const CnvConfig cfg = CnvConfig{}.scaled(scale);
+  for (const auto& point : points) {
+    Rng rng(7);
+    BranchyModel model =
+        build_cnv_with_exits(cfg, paper_exits_config(false), rng);
+    auto sites = walk_compute_layers(model, cfg.in_channels, cfg.image_size);
+    const FoldingConfig folding = point.style == "styled"
+                                      ? styled_folding(sites)
+                                      : default_folding(sites);
+    if (point.rate_pct > 0) {
+      PruneOptions popts;
+      popts.rate = point.rate_pct / 100.0;
+      popts.folding = folding;
+      popts.in_channels = cfg.in_channels;
+      popts.image_size = cfg.image_size;
+      prune_model(model, popts);
+    }
+    AcceleratorConfig acfg;
+    const Accelerator acc = compile_accelerator(model, folding, acfg);
+
+    const analysis::CrossValidation cv =
+        analysis::cross_validate(acc, point.fractions);
+    if (!cv.passed) {
+      ++failures;
+      std::cerr << "FAIL " << point.style << " rate " << point.rate_pct
+                << "% fractions " << fractions_label(point.fractions) << ":\n"
+                << cv.lint.format_table() << "\n";
+    }
+
+    double up_sum = 0.0;
+    double up_max = 0.0;
+    double low_sum = 0.0;
+    for (const auto& link : cv.links) {
+      const double hw = std::max(link.measured_high_water, 1);
+      const double up = static_cast<double>(link.upper) / hw;
+      up_sum += up;
+      up_max = std::max(up_max, up);
+      low_sum += hw / std::max(link.lower, 1);
+    }
+    const double n_links = std::max<std::size_t>(cv.links.size(), 1);
+    table.add_row({point.style, std::to_string(point.rate_pct),
+                   fractions_label(point.fractions),
+                   std::to_string(cv.num_images), fmt(cv.static_ii_cycles, 1),
+                   fmt(cv.measured_ii_cycles, 1), fmt(cv.ii_rel_err * 100.0),
+                   std::to_string(cv.links.size()), fmt(up_sum / n_links, 2),
+                   fmt(up_max, 2), fmt(low_sum / n_links, 2),
+                   cv.passed ? "pass" : "FAIL"});
+  }
+
+  bench::emit(table, "verifier_agreement");
+  std::cout << "\n" << points.size() << " design points, " << failures
+            << " disagreement(s), " << fmt(timer.seconds(), 1) << "s\n";
+  if (failures > 0) {
+    std::cerr << "verifier sweep FAILED: static bounds disagree with "
+                 "simulation on "
+              << failures << " point(s)\n";
+    return 1;
+  }
+  return 0;
+}

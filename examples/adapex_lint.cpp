@@ -5,24 +5,41 @@
 //               [--in-channels N] [--image-size N]
 //               [--folding-style styled|default]
 //               [--scale W] [--exits paper|none]
+//               [--fractions F0,F1,...] [--verify] [--json]
 //               [--emit-folding PATH]
 //
-// Lints a (model, folding, accelerator-config) design point without running
-// any simulation and prints the structured findings as a table (rule,
-// severity, site, message, fix hint). With MODEL.adpx the model comes from
-// a serialized export; otherwise a CNV demo model is built at --scale with
-// the paper's exits. --folding lints a FINN-style folding JSON (rule R6)
-// before applying it; otherwise a config is generated per --folding-style.
-// --emit-folding writes the effective folding JSON for later hand-editing.
+// Lints a (model, folding, accelerator-config) design point and prints the
+// structured findings as a table (rule, severity, site, message, fix hint).
+// With MODEL.adpx the model comes from a serialized export; otherwise a CNV
+// demo model is built at --scale with the paper's exits. --folding lints a
+// FINN-style folding JSON (rule R6) before applying it; otherwise a config
+// is generated per --folding-style. --emit-folding writes the effective
+// folding JSON for later hand-editing.
 //
-// Exit code 0 when no error-severity findings, 3 when the design has
-// errors, 1 on usage errors, 2 on runtime failures.
+// The reach-aware rules R8-R14 analyze under --fractions (one probability
+// per output, exits first; default uniform). --verify additionally runs the
+// agreement harness: the static II and FIFO occupancy bounds are
+// cross-validated against the transaction-level pipeline simulator, and any
+// bracket violation is reported as an XV error.
+//
+// --json replaces the table with a machine-readable document on stdout
+// ({"errors", "warnings", "infos", "diagnostics": [...], ...}) for CI
+// gating; findings below --min-severity are still included.
+//
+// Exit codes (stable, meant for CI):
+//   0  no error-severity findings (verification passed if requested)
+//   3  the design has error findings or failed cross-validation
+//   1  usage errors
+//   2  runtime failures (unreadable files, bad flag values, ...)
 
 #include <cstring>
 #include <iostream>
 #include <map>
+#include <set>
+#include <sstream>
 #include <string>
 
+#include "analysis/dataflow.hpp"
 #include "analysis/lint.hpp"
 #include "model/cnv.hpp"
 #include "model/serialize.hpp"
@@ -39,8 +56,10 @@ int usage() {
       "              [--in-channels N] [--image-size N]\n"
       "              [--folding-style styled|default]\n"
       "              [--scale W] [--exits paper|none]\n"
+      "              [--fractions F0,F1,...] [--verify] [--json]\n"
       "              [--emit-folding PATH]\n"
-      "devices: zcu104 (default) | ultra96 | zcu102\n";
+      "devices: zcu104 (default) | ultra96 | zcu102\n"
+      "exit codes: 0 clean, 3 errors found, 1 usage, 2 runtime failure\n";
   return 1;
 }
 
@@ -51,15 +70,53 @@ analysis::Severity severity_from_string(const std::string& s) {
   throw ConfigError("unknown severity: " + s + " (expected info|warning|error)");
 }
 
+std::vector<double> fractions_from_string(const std::string& s) {
+  std::vector<double> fractions;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item.empty()) continue;
+    fractions.push_back(std::stod(item));
+  }
+  if (fractions.empty()) {
+    throw ConfigError("--fractions needs a comma-separated probability list");
+  }
+  return fractions;
+}
+
+/// Renders one lint outcome and returns the process exit code. JSON mode
+/// emits the full report regardless of min_severity (CI filters itself);
+/// table mode respects it.
+int emit(const analysis::LintReport& report, analysis::Severity min_severity,
+         bool json, const std::string& context_key, const Json& context) {
+  if (json) {
+    Json root = report.to_json();
+    if (!context_key.empty()) root[context_key] = context;
+    root["exit_code"] = report.has_errors() ? 3 : 0;
+    std::cout << root.dump(2) << "\n";
+  } else {
+    const std::string table = report.format_table(min_severity);
+    if (!table.empty()) std::cout << table << "\n";
+    std::cout << report.summary() << "\n";
+  }
+  return report.has_errors() ? 3 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::set<std::string> boolean_flags = {"json", "verify"};
   std::string model_path;
   std::map<std::string, std::string> flags;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--", 2) == 0) {
+      const std::string name = argv[i] + 2;
+      if (boolean_flags.count(name)) {
+        flags.emplace(name, "");
+        continue;
+      }
       if (i + 1 >= argc) return usage();
-      flags[argv[i] + 2] = argv[i + 1];
+      flags[name] = argv[i + 1];
       ++i;
     } else if (model_path.empty()) {
       model_path = argv[i];
@@ -67,6 +124,7 @@ int main(int argc, char** argv) {
       return usage();
     }
   }
+  const bool json = flags.count("json") > 0;
 
   try {
     AcceleratorConfig config;
@@ -100,6 +158,9 @@ int main(int argc, char** argv) {
     if (flags.count("device")) {
       options.device = analysis::DeviceProfile::by_name(flags["device"]);
     }
+    if (flags.count("fractions")) {
+      options.exit_fractions = fractions_from_string(flags["fractions"]);
+    }
     const analysis::Severity min_severity =
         flags.count("min-severity")
             ? severity_from_string(flags["min-severity"])
@@ -117,9 +178,7 @@ int main(int argc, char** argv) {
       // The strict walk rejects the model; rerun the lenient design rules
       // so the user sees every violation, not just the first.
       report = analysis::lint_design(model, FoldingConfig{}, config);
-      std::cout << report.format_table(min_severity) << "\n"
-                << report.summary() << "\n";
-      return 3;
+      return emit(report, min_severity, json, "", Json());
     }
     if (flags.count("folding")) {
       const Json j = Json::parse(read_file(flags["folding"]));
@@ -127,9 +186,7 @@ int main(int argc, char** argv) {
       if (report.has_errors()) {
         // The JSON is not well-formed enough to build a config from;
         // report what we have.
-        std::cout << report.format_table(min_severity) << "\n"
-                  << report.summary() << "\n";
-        return 3;
+        return emit(report, min_severity, json, "", Json());
       }
       // R6 passed, so every site has a positive integral PE/SIMD. Build
       // the config directly instead of via from_json, whose first-check-wins
@@ -158,13 +215,63 @@ int main(int argc, char** argv) {
 
     report.merge(analysis::lint(model, folding, config, options));
 
-    const std::string table = report.format_table(min_severity);
-    if (!table.empty()) std::cout << table << "\n";
-    std::cout << report.summary() << " (" << sites.size() << " layers, device "
-              << options.device.name << ")\n";
-    return report.has_errors() ? 3 : 0;
+    // Agreement harness: only meaningful once the static rules accept the
+    // design (a rejected design cannot be compiled, let alone simulated).
+    Json verify_json;
+    std::string context_key;
+    if (flags.count("verify") && !report.has_errors()) {
+      const Accelerator acc = compile_accelerator(model, folding, config);
+      std::vector<double> fractions = options.exit_fractions;
+      if (fractions.empty()) {
+        fractions.assign(static_cast<std::size_t>(acc.num_exits) + 1,
+                         1.0 / static_cast<double>(acc.num_exits + 1));
+      }
+      analysis::CrossValidateOptions cv_opts;
+      cv_opts.dataflow.device = options.device;
+      const analysis::CrossValidation cv =
+          analysis::cross_validate(acc, fractions, cv_opts);
+      report.merge(cv.lint);
+      if (json) {
+        context_key = "verify";
+        verify_json = Json::object();
+        verify_json["passed"] = cv.passed;
+        verify_json["static_ii_cycles"] = cv.static_ii_cycles;
+        verify_json["measured_ii_cycles"] = cv.measured_ii_cycles;
+        verify_json["ii_rel_err"] = cv.ii_rel_err;
+        verify_json["num_images"] = cv.num_images;
+        Json links = Json::array();
+        for (const auto& l : cv.links) {
+          Json lj = Json::object();
+          lj["producer"] = l.producer;
+          lj["consumer"] = l.consumer;
+          lj["high_water"] = l.measured_high_water;
+          lj["lower"] = l.lower;
+          lj["upper"] = l.upper;
+          lj["ok"] = l.ok;
+          links.push_back(std::move(lj));
+        }
+        verify_json["links"] = std::move(links);
+      } else {
+        std::cerr << cv.summary() << "\n";
+      }
+    }
+
+    const int code =
+        emit(report, min_severity, json, context_key, verify_json);
+    if (!json) {
+      std::cerr << "(" << sites.size() << " layers, device "
+                << options.device.name << ")\n";
+    }
+    return code;
   } catch (const std::exception& e) {
-    std::cerr << "error: " << e.what() << "\n";
+    if (json) {
+      Json root = Json::object();
+      root["error"] = std::string(e.what());
+      root["exit_code"] = 2;
+      std::cout << root.dump(2) << "\n";
+    } else {
+      std::cerr << "error: " << e.what() << "\n";
+    }
     return 2;
   }
 }

@@ -1,5 +1,6 @@
 #include "analysis/diagnostics.hpp"
 
+#include "common/json.hpp"
 #include "common/table.hpp"
 
 namespace adapex {
@@ -70,6 +71,27 @@ std::string LintReport::format_table(Severity min_severity) const {
                    d.fix_hint.empty() ? "-" : d.fix_hint});
   }
   return table.str();
+}
+
+Json Diagnostic::to_json() const {
+  Json j = Json::object();
+  j["rule"] = rule_id;
+  j["severity"] = to_string(severity);
+  j["site"] = site;
+  j["message"] = message;
+  if (!fix_hint.empty()) j["fix_hint"] = fix_hint;
+  return j;
+}
+
+Json LintReport::to_json() const {
+  Json j = Json::object();
+  j["errors"] = count(Severity::kError);
+  j["warnings"] = count(Severity::kWarning);
+  j["infos"] = count(Severity::kInfo);
+  Json list = Json::array();
+  for (const auto& d : diagnostics) list.push_back(d.to_json());
+  j["diagnostics"] = std::move(list);
+  return j;
 }
 
 std::string LintReport::error_message() const {

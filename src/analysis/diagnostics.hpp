@@ -14,6 +14,9 @@
 #include <vector>
 
 namespace adapex {
+
+class Json;
+
 namespace analysis {
 
 /// How bad a finding is.
@@ -40,6 +43,9 @@ struct Diagnostic {
 
   /// One-line rendering: "R1 error @ backbone.b0.conv0: ... (hint)".
   std::string str() const;
+
+  /// {"rule", "severity", "site", "message", "fix_hint"} object.
+  Json to_json() const;
 };
 
 /// All findings of one lint run.
@@ -64,6 +70,10 @@ struct LintReport {
 
   /// Column-aligned table of all findings (empty string when clean).
   std::string format_table(Severity min_severity = Severity::kInfo) const;
+
+  /// Machine-readable report: severity counts plus a diagnostics array,
+  /// for CI gating through `adapex_lint --json`.
+  Json to_json() const;
 
   /// Aggregated single-failure message listing every error-severity finding,
   /// for embedding in a thrown ConfigError. Empty when there are no errors.

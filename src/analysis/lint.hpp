@@ -23,6 +23,24 @@
 //       monotonic order, and every compiled exit path is a prefix-consistent
 //       extension of the backbone path through its Branch module.
 //
+// The reach-aware dataflow verifier (analysis/dataflow.hpp) extends the
+// catalog with R8-R14, run from lint_accelerator() when
+// LintOptions::dataflow_rules is set:
+//
+//   R8  reach consistency: exit-fraction arity, range, unit sum, and
+//       non-negative monotone survival against the branch structure.
+//   R9  reach-scaled II feasibility: a gated module folded below its gated
+//       arrival rate throttles the pipeline (re-folding target).
+//   R10 FIFO depth lower-bound violation against a proposed sizing plan.
+//   R11 bounded-FIFO deadlock freedom: acyclic stream graph, no zero-depth
+//       links, branch-side depths past the wedge hazard.
+//   R12 reach-vs-Library drift: a Library entry's recorded distribution and
+//       throughput vs. the accelerator it was priced against.
+//   R13 duplicated-stream buffering cost (static FIFO BRAM upper bound)
+//       against the device budget.
+//   R14 gated-throughput accounting: claimed ips/latency vs. the
+//       reach-weighted module model.
+//
 // compile_accelerator() and generate_library() run the design-level rules as
 // a precondition and reject illegal design points with a single aggregated
 // ConfigError listing every violation (replacing the old first-check-wins
@@ -51,6 +69,11 @@ struct LintOptions {
   /// Cross-check R4 findings against the transaction-level FIFO sizing
   /// model (cheap; set false for a purely analytical run).
   bool cross_check_fifos = true;
+  /// Run the reach-aware dataflow rules R8-R14 (analysis/dataflow.hpp).
+  bool dataflow_rules = true;
+  /// Exit distribution the dataflow rules analyze under; empty means
+  /// uniform over the accelerator's outputs.
+  std::vector<double> exit_fractions;
 };
 
 /// Design-level rules (R1, R2, R6, R7's model-structure half): everything

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/dataflow.hpp"
 #include "analysis/lint.hpp"
 #include "finn/fifo_sizing.hpp"
 
@@ -19,21 +20,6 @@ std::string module_site(const Accelerator& acc, int index) {
     return "module[" + std::to_string(index) + "]";
   }
   return acc.modules[static_cast<std::size_t>(index)].name;
-}
-
-/// Producer -> consumer links implied by the paths (deduplicated: paths
-/// share their backbone prefix).
-std::vector<std::pair<int, int>> link_graph(const Accelerator& acc) {
-  std::vector<std::pair<int, int>> links;
-  for (const auto& path : acc.paths) {
-    for (std::size_t i = 1; i < path.size(); ++i) {
-      const std::pair<int, int> link{path[i - 1], path[i]};
-      if (std::find(links.begin(), links.end(), link) == links.end()) {
-        links.push_back(link);
-      }
-    }
-  }
-  return links;
 }
 
 /// True when every path index is a valid module index; later rules assume
@@ -72,7 +58,7 @@ void lint_stream_widths(const Accelerator& acc, LintReport& report) {
                  "recompile the accelerator with a valid folding");
     }
   }
-  for (const auto& [p, c] : link_graph(acc)) {
+  for (const auto& [p, c] : accelerator_links(acc)) {
     const HlsModule& prod = acc.modules[static_cast<std::size_t>(p)];
     const HlsModule& cons = acc.modules[static_cast<std::size_t>(c)];
     if (prod.out_stream_elems < 1 || cons.in_stream_elems < 1) continue;
@@ -310,6 +296,16 @@ LintReport lint_accelerator(const Accelerator& acc,
   lint_fifo_hazards(acc, options, report);
   lint_resource_budget(acc, options, report);
   lint_path_structure(acc, report);
+  if (options.dataflow_rules) {
+    std::vector<double> fractions = options.exit_fractions;
+    if (fractions.empty()) {
+      fractions.assign(static_cast<std::size_t>(acc.num_exits) + 1,
+                       1.0 / static_cast<double>(acc.num_exits + 1));
+    }
+    DataflowOptions dopts;
+    dopts.device = options.device;
+    report.merge(analyze_dataflow(acc, fractions, dopts).lint);
+  }
   return report;
 }
 

@@ -223,6 +223,67 @@ Accelerator compile_accelerator(BranchyModel& model,
   return acc;
 }
 
+std::vector<int> module_predecessors(const Accelerator& acc) {
+  std::vector<int> pred(acc.modules.size(), -1);
+  for (const auto& path : acc.paths) {
+    for (std::size_t i = 1; i < path.size(); ++i) {
+      pred[static_cast<std::size_t>(path[i])] = path[i - 1];
+    }
+  }
+  return pred;
+}
+
+std::vector<std::pair<int, int>> accelerator_links(const Accelerator& acc) {
+  std::vector<std::pair<int, int>> links;
+  for (const auto& path : acc.paths) {
+    for (std::size_t i = 1; i < path.size(); ++i) {
+      const std::pair<int, int> link{path[i - 1], path[i]};
+      if (std::find(links.begin(), links.end(), link) == links.end()) {
+        links.push_back(link);
+      }
+    }
+  }
+  return links;
+}
+
+std::vector<double> realized_fractions(const Accelerator& acc,
+                                       const std::vector<int>& exit_of_image) {
+  ADAPEX_CHECK(!exit_of_image.empty(), "empty stimulus");
+  std::vector<double> fractions(static_cast<std::size_t>(acc.num_exits) + 1,
+                                0.0);
+  for (int e : exit_of_image) {
+    ADAPEX_CHECK(e >= 0 && e <= acc.num_exits, "exit index out of range");
+    fractions[static_cast<std::size_t>(e)] += 1.0;
+  }
+  for (double& f : fractions) f /= static_cast<double>(exit_of_image.size());
+  return fractions;
+}
+
+double gated_steady_ii(const Accelerator& acc,
+                       const std::vector<double>& exit_fractions,
+                       int* bottleneck) {
+  ADAPEX_CHECK(
+      static_cast<int>(exit_fractions.size()) == acc.num_exits + 1,
+      "exit fraction arity must equal outputs");
+  const auto reach = reach_from_fractions(exit_fractions);
+  double ii = 0.0;
+  int binding = -1;
+  for (std::size_t m = 0; m < acc.modules.size(); ++m) {
+    const HlsModule& mod = acc.modules[m];
+    const int level = mod.exit_head >= 0 ? mod.exit_head : mod.exit_level;
+    const double r = level < static_cast<int>(reach.size())
+                         ? reach[static_cast<std::size_t>(level)]
+                         : 0.0;
+    const double gated = static_cast<double>(mod.cycles) * r;
+    if (gated > ii) {
+      ii = gated;
+      binding = static_cast<int>(m);
+    }
+  }
+  if (bottleneck != nullptr) *bottleneck = binding;
+  return ii;
+}
+
 std::vector<double> reach_from_fractions(
     const std::vector<double>& fractions) {
   std::vector<double> reach(fractions.size(), 1.0);

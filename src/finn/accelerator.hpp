@@ -16,6 +16,7 @@
 #pragma once
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "hls/folding.hpp"
@@ -70,6 +71,39 @@ struct Accelerator {
 Accelerator compile_accelerator(BranchyModel& model,
                                 const FoldingConfig& folding,
                                 const AcceleratorConfig& config);
+
+/// Whether module `m` performs work on an image accepted at output
+/// `image_exit` under the stream-gating service model: backbone modules need
+/// the image to survive every branch point upstream of them, exit heads
+/// process every image that reaches their branch. Shared by the pipeline
+/// simulator, the FIFO sizer, and the dataflow verifier so all three gate
+/// traffic identically.
+inline bool module_touches(const HlsModule& m, int image_exit) {
+  if (m.exit_head >= 0) return image_exit >= m.exit_head;
+  return image_exit >= m.exit_level;
+}
+
+/// Predecessor module index per module (-1 for the source), reconstructed
+/// from the path lists. The module graph is a tree fanning out at Branch
+/// duplicators, so each module has at most one predecessor.
+std::vector<int> module_predecessors(const Accelerator& acc);
+
+/// Deduplicated producer -> consumer links implied by the paths (paths
+/// share their backbone prefix), in first-appearance order.
+std::vector<std::pair<int, int>> accelerator_links(const Accelerator& acc);
+
+/// Realized exit-fraction vector of a concrete stimulus: one entry per
+/// output (exits then final), counts normalized by the stream length.
+std::vector<double> realized_fractions(const Accelerator& acc,
+                                       const std::vector<int>& exit_of_image);
+
+/// Reach-scaled steady-state initiation interval in cycles: the bottleneck
+/// module's expected occupancy per offered input, max_m cycles_m * reach_m.
+/// `exit_fractions` must have one entry per output. Returns the II and, via
+/// `bottleneck` (optional), the index of the binding module.
+double gated_steady_ii(const Accelerator& acc,
+                       const std::vector<double>& exit_fractions,
+                       int* bottleneck = nullptr);
 
 /// Performance estimate for one (accelerator, exit distribution) pair.
 struct AcceleratorPerf {

@@ -13,95 +13,55 @@ std::string FifoRequirement::describe(const Accelerator& acc) const {
          " BRAM)";
 }
 
+long fifo_bram_for(const Accelerator& acc, int producer, long depth_images) {
+  // Elements per image at this link: the producer's output feature map.
+  // Approximate with the producer's cycles (one output element per cycle at
+  // the module's parallelism) — the stream length in beats. Stream width
+  // ~ 8 bits per beat at 2-bit precision and small folds; BRAM18 = 18432
+  // bits.
+  const long beats =
+      std::max<long>(acc.modules[static_cast<std::size_t>(producer)].cycles,
+                     1);
+  const double bits = static_cast<double>(depth_images * beats) * 8.0;
+  return static_cast<long>(std::ceil(bits / 18432.0));
+}
+
 std::vector<FifoRequirement> size_fifos(const Accelerator& acc,
                                         const std::vector<int>& exit_of_image,
                                         double safety_margin) {
   ADAPEX_CHECK(!exit_of_image.empty(), "need a stimulus stream");
   ADAPEX_CHECK(safety_margin >= 1.0, "safety margin must be >= 1");
-  const std::size_t num_modules = acc.modules.size();
-  const std::size_t num_images = exit_of_image.size();
 
-  // Rebuild the link graph (as in pipeline_sim).
-  std::vector<int> pred(num_modules, -1);
-  for (const auto& path : acc.paths) {
-    for (std::size_t i = 1; i < path.size(); ++i) {
-      pred[static_cast<std::size_t>(path[i])] = path[i - 1];
-    }
-  }
+  // Replay with injection paced at the sustainable rate — the reach-scaled
+  // steady-state II of the stimulus's realized exit mix: FIFO sizing is a
+  // *steady-state* question. With back-to-back injection and unbounded
+  // buffers, every queue in front of the bottleneck would grow with the
+  // stream length, which is not what a designer provisions for; pacing any
+  // slower would under-fill the queues the gated traffic actually builds.
+  const std::vector<double> fractions =
+      realized_fractions(acc, exit_of_image);
+  const double ii = std::max(gated_steady_ii(acc, fractions), 1.0);
 
-  auto touches = [&](const HlsModule& m, int image_exit) {
-    if (m.exit_head >= 0) return image_exit >= m.exit_head;
-    return image_exit >= m.exit_level;
-  };
+  PipelineSimOptions options;
+  options.injection_interval_cycles = ii;
+  options.fifo_depth = 0;  // unbounded: measure demand, not a provision
+  options.record_link_occupancy = true;
+  const PipelineSimResult sim =
+      simulate_pipeline(acc, exit_of_image, options);
 
-  // Replay with injection paced at the sustainable rate (the bottleneck
-  // module's cycles): FIFO sizing is a *steady-state* question — with
-  // back-to-back injection and unbounded buffers, every queue in front of
-  // the bottleneck would grow with the stream length, which is not what a
-  // designer provisions for.
-  long ii = 1;
-  for (const auto& m : acc.modules) ii = std::max(ii, m.cycles);
-
-  std::vector<std::vector<double>> begin(num_modules), finish(num_modules);
-  for (std::size_t m = 0; m < num_modules; ++m) {
-    begin[m].assign(num_images, 0.0);
-    finish[m].assign(num_images, 0.0);
-  }
-  std::vector<double> prev_finish(num_modules, 0.0);
-  for (std::size_t i = 0; i < num_images; ++i) {
-    const int image_exit = exit_of_image[i];
-    for (std::size_t m = 0; m < num_modules; ++m) {
-      const HlsModule& mod = acc.modules[m];
-      double ready =
-          pred[m] >= 0 ? finish[static_cast<std::size_t>(pred[m])][i] : 0.0;
-      if (pred[m] < 0) {
-        ready = static_cast<double>(i) * static_cast<double>(ii);
-      }
-      begin[m][i] = std::max(ready, prev_finish[m]);
-      const double service =
-          touches(mod, image_exit) ? static_cast<double>(mod.cycles) : 0.0;
-      finish[m][i] = begin[m][i] + service;
-      prev_finish[m] = finish[m][i];
-    }
-  }
-
-  // For every link, the image j occupies the FIFO during
-  // [finish_producer[j], begin_consumer[j]); the required depth is the
-  // maximum number of concurrently resident images.
   std::vector<FifoRequirement> reqs;
-  for (std::size_t c = 0; c < num_modules; ++c) {
-    if (pred[c] < 0) continue;
-    const std::size_t p = static_cast<std::size_t>(pred[c]);
-    // Sweep: count intervals overlapping each consumer-begin instant.
-    // An image j is resident on the link at time t if it left the producer
-    // (finish_p[j] <= t) but the consumer has not begun it
-    // (begin_c[j] >= t). The high-water mark over consumer-begin instants
-    // is the required depth. O(n^2) over a bench-sized stimulus.
-    int max_depth = 1;
-    for (std::size_t i = 0; i < num_images; ++i) {
-      const double t = begin[c][i];
-      int depth = 0;
-      for (std::size_t j = 0; j < num_images; ++j) {
-        if (finish[p][j] <= t && begin[c][j] >= t) ++depth;
-      }
-      max_depth = std::max(max_depth, depth);
-    }
-
+  reqs.reserve(sim.links.size());
+  for (const LinkOccupancy& link : sim.links) {
     FifoRequirement req;
-    req.producer = static_cast<int>(p);
-    req.consumer = static_cast<int>(c);
-    req.depth_images =
-        static_cast<int>(std::ceil(max_depth * safety_margin));
-    // Elements per image at this link: the producer's output feature map.
-    // Approximate with the producer's cycles (one output element per
-    // cycle at the module's parallelism) — the stream length in beats.
-    const long beats =
-        std::max<long>(acc.modules[p].cycles, 1);
+    req.producer = link.producer;
+    req.consumer = link.consumer;
+    req.high_water_images = std::max(link.high_water_images, 1);
+    req.depth_images = static_cast<int>(
+        std::ceil(req.high_water_images * safety_margin));
+    const long beats = std::max<long>(
+        acc.modules[static_cast<std::size_t>(link.producer)].cycles, 1);
     req.depth_elements = req.depth_images * beats;
-    // Stream width ~ 8 bits per beat at 2-bit precision and small folds;
-    // BRAM18 = 18432 bits.
-    const double bits = static_cast<double>(req.depth_elements) * 8.0;
-    req.bram = static_cast<long>(std::ceil(bits / 18432.0));
+    req.bram = fifo_bram_for(acc, link.producer, req.depth_images);
     reqs.push_back(req);
   }
   return reqs;

@@ -4,10 +4,12 @@
 // stimulus, record each FIFO's high-water mark, and provision that depth
 // (plus margin) so the pipeline never deadlocks or stalls. This module
 // reproduces that step at the transaction level: it replays an image
-// stream through the accelerator graph with unbounded buffers, measures the
-// maximum in-flight occupancy of every producer->consumer link, and reports
-// the required depth together with its BRAM cost at the link's stream
-// width.
+// stream through the accelerator graph with unbounded buffers and the
+// source paced at the reach-scaled sustainable initiation interval, reads
+// the maximum in-flight occupancy of every producer->consumer link from
+// simulate_pipeline()'s link-occupancy measurements (the one measurement
+// path shared with analysis::cross_validate()), and reports the required
+// depth together with its BRAM cost at the link's stream width.
 //
 // The branch links (backbone -> exit head) are the interesting ones: the
 // paper notes the early-exit overhead lands mainly in BRAM because the
@@ -20,6 +22,7 @@
 #include <vector>
 
 #include "finn/accelerator.hpp"
+#include "finn/pipeline_sim.hpp"
 
 namespace adapex {
 
@@ -27,7 +30,10 @@ namespace adapex {
 struct FifoRequirement {
   int producer = -1;  ///< Module index.
   int consumer = -1;
-  /// Maximum images simultaneously in flight on the link.
+  /// Measured high-water mark: maximum images simultaneously in flight on
+  /// the link under steady-state pacing (before the safety margin).
+  int high_water_images = 0;
+  /// Provisioned depth: high-water mark times the safety margin.
   int depth_images = 0;
   /// Element depth: images * elements per image at the link.
   long depth_elements = 0;
@@ -41,6 +47,11 @@ struct FifoRequirement {
 std::vector<FifoRequirement> size_fifos(const Accelerator& acc,
                                         const std::vector<int>& exit_of_image,
                                         double safety_margin = 1.25);
+
+/// BRAM18 blocks a `depth_images`-deep FIFO on producer -> consumer costs
+/// at the link's stream width (one conversion shared by size_fifos and the
+/// dataflow verifier's R13 buffering-budget rule).
+long fifo_bram_for(const Accelerator& acc, int producer, long depth_images);
 
 /// Total BRAM across all links (the figure a designer budgets).
 long total_fifo_bram(const std::vector<FifoRequirement>& reqs);

@@ -4,48 +4,82 @@
 
 namespace adapex {
 
+namespace {
+
+/// Occupancy sweep over one link: arrivals at the producer's data-ready
+/// instants, departures at the consumer's begin instants (both sorted,
+/// since modules process images in order). An image is resident at time t
+/// when it arrived at or before t and the consumer had not begun it
+/// strictly before t; the maximum is always attained at an arrival instant.
+LinkOccupancy sweep_link(int producer, int consumer,
+                         const std::vector<double>& arrivals,
+                         const std::vector<double>& departures) {
+  LinkOccupancy occ;
+  occ.producer = producer;
+  occ.consumer = consumer;
+  const std::size_t n = arrivals.size();
+  std::size_t a = 0;
+  std::size_t d = 0;
+  while (a < n) {
+    const double t = arrivals[a];
+    // departures[j] >= arrivals[j], so no departure past index a can
+    // precede t; the d < a guard keeps the scan linear and in range.
+    while (d < a && departures[d] < t) ++d;
+    while (a < n && arrivals[a] <= t) ++a;
+    const int resident = static_cast<int>(a - d);
+    if (resident > occ.high_water_images) {
+      occ.high_water_images = resident;
+      occ.peak_time_cycles = t;
+    }
+  }
+  return occ;
+}
+
+/// Pace of a non-decreasing event sequence over the second half of the run
+/// (the same steady-state window steady_ii_cycles uses).
+double second_half_pace(const std::vector<double>& events) {
+  const std::size_t n = events.size();
+  const std::size_t half = n / 2;
+  if (n >= 4 && half + 1 < n) {
+    return (events[n - 1] - events[half]) / static_cast<double>(n - 1 - half);
+  }
+  return events.back() / static_cast<double>(n);
+}
+
+}  // namespace
+
 PipelineSimResult simulate_pipeline(const Accelerator& acc,
-                                    const std::vector<int>& exit_of_image) {
+                                    const std::vector<int>& exit_of_image,
+                                    const PipelineSimOptions& options) {
   const std::size_t num_modules = acc.modules.size();
   const std::size_t num_images = exit_of_image.size();
   ADAPEX_CHECK(num_images > 0, "no images to simulate");
+  ADAPEX_CHECK(options.injection_interval_cycles >= 0.0,
+               "injection interval must be non-negative");
   for (int e : exit_of_image) {
     ADAPEX_CHECK(e >= 0 && e <= acc.num_exits, "exit index out of range");
   }
 
-  // Reconstruct each module's predecessor from the path lists (paths share
-  // the backbone prefix; consecutive entries within a path are connected).
-  // The module graph is a tree fanning out at branches, so each module has
-  // exactly one predecessor; emission order is topological.
-  std::vector<int> pred(num_modules, -1);
-  for (const auto& path : acc.paths) {
-    for (std::size_t i = 1; i < path.size(); ++i) {
-      pred[static_cast<std::size_t>(path[i])] = path[i - 1];
-    }
-  }
+  const std::vector<int> pred = module_predecessors(acc);
   std::vector<std::vector<int>> consumers(num_modules);
   for (std::size_t m = 0; m < num_modules; ++m) {
-    if (pred[m] >= 0) consumers[static_cast<std::size_t>(pred[m])].push_back(static_cast<int>(m));
+    if (pred[m] >= 0) {
+      consumers[static_cast<std::size_t>(pred[m])].push_back(
+          static_cast<int>(m));
+    }
   }
 
-  // Whether module m touches image i: backbone modules need the image to
-  // survive all branch points before them (exit >= exit_level); exit-head
-  // modules of exit h need the image to reach branch h (exit >= h).
-  // Untouched images pass through with zero service time (gated stream).
-  auto touches = [&](const HlsModule& m, int image_exit) {
-    if (m.exit_head >= 0) return image_exit >= m.exit_head;
-    return image_exit >= m.exit_level;
-  };
+  const bool paced = options.injection_interval_cycles > 0.0;
+  const bool bounded = options.fifo_depth > 0;
+  const std::size_t depth =
+      bounded ? static_cast<std::size_t>(options.fifo_depth) : 0;
 
-  // Finite FIFOs: a module, after computing image i, stays blocked until
-  // its output slot frees, i.e. every consumer has begun image i - D.
-  // This is what creates backpressure and makes the measured injection rate
-  // the *sustainable* rate rather than an open-queue artifact.
-  constexpr std::size_t kFifoDepth = 2;
-
-  // begin[m][i], data_ready[m][i] (finish of compute), freed[m][i].
-  std::vector<std::vector<double>> begin(num_modules),
-      data_ready(num_modules);
+  // begin[m][i], data_ready[m][i] (finish of compute), freed_prev[m]: the
+  // instant module m's output slot for the previous image freed. With
+  // bounded FIFOs a module, after computing image i, stays blocked until
+  // every consumer has begun image i - depth; that backpressure is what
+  // makes the closed-loop injection rate the *sustainable* rate.
+  std::vector<std::vector<double>> begin(num_modules), data_ready(num_modules);
   for (std::size_t m = 0; m < num_modules; ++m) {
     begin[m].assign(num_images, 0.0);
     data_ready[m].assign(num_images, 0.0);
@@ -59,18 +93,22 @@ PipelineSimResult simulate_pipeline(const Accelerator& acc,
     const int image_exit = exit_of_image[i];
     for (std::size_t m = 0; m < num_modules; ++m) {
       const HlsModule& mod = acc.modules[m];
-      const double ready =
-          pred[m] >= 0 ? data_ready[static_cast<std::size_t>(pred[m])][i] : 0.0;
+      double ready = 0.0;
+      if (pred[m] >= 0) {
+        ready = data_ready[static_cast<std::size_t>(pred[m])][i];
+      } else if (paced) {
+        ready = static_cast<double>(i) * options.injection_interval_cycles;
+      }
       begin[m][i] = std::max(ready, freed_prev[m]);
-      const double service =
-          touches(mod, image_exit) ? static_cast<double>(mod.cycles) : 0.0;
+      const double service = module_touches(mod, image_exit)
+                                 ? static_cast<double>(mod.cycles)
+                                 : 0.0;
       data_ready[m][i] = begin[m][i] + service;
-      // Output-FIFO stall: blocked until each consumer began image i-D.
       double freed = data_ready[m][i];
-      if (i >= kFifoDepth) {
+      if (bounded && i >= depth) {
         for (int c : consumers[m]) {
-          freed = std::max(freed,
-                           begin[static_cast<std::size_t>(c)][i - kFifoDepth]);
+          freed =
+              std::max(freed, begin[static_cast<std::size_t>(c)][i - depth]);
         }
       }
       freed_prev[m] = freed;
@@ -89,15 +127,28 @@ PipelineSimResult simulate_pipeline(const Accelerator& acc,
   result.avg_latency_cycles = latency_sum / static_cast<double>(num_images);
 
   // Steady-state II: pace of *injections* (module 0 begins) over the second
-  // half of the run — the backpressured, sustainable input rate.
+  // half of the run, plus the per-module begin pace the dataflow verifier
+  // reads the bottleneck's realized II from.
   const std::size_t half = num_images / 2;
   if (num_images >= 4 && half + 1 < num_images) {
-    const double span = begin[0][num_images - 1] - begin[0][half];
-    result.steady_ii_cycles =
-        span / static_cast<double>(num_images - 1 - half);
+    result.steady_ii_cycles = second_half_pace(begin[0]);
   } else {
     result.steady_ii_cycles = result.completion_cycles.back() /
                               static_cast<double>(num_images);
+  }
+  result.module_begin_ii_cycles.resize(num_modules);
+  for (std::size_t m = 0; m < num_modules; ++m) {
+    result.module_begin_ii_cycles[m] = second_half_pace(begin[m]);
+  }
+
+  if (options.record_link_occupancy) {
+    for (std::size_t c = 0; c < num_modules; ++c) {
+      if (pred[c] < 0) continue;
+      const std::size_t p = static_cast<std::size_t>(pred[c]);
+      result.links.push_back(
+          sweep_link(static_cast<int>(p), static_cast<int>(c), data_ready[p],
+                     begin[c]));
+    }
   }
   return result;
 }

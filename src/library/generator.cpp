@@ -7,6 +7,7 @@
 #include <set>
 #include <utility>
 
+#include "analysis/dataflow.hpp"
 #include "analysis/lint.hpp"
 #include "common/thread_pool.hpp"
 #include "nn/eval.hpp"
@@ -210,6 +211,28 @@ DesignPointResult run_design_point(const LibraryGenSpec& spec,
       result.entries.push_back(entry);
     }
   }
+  // Dataflow verification runs on the untaxed rows: the mitigation
+  // throughput factor below is a modeled derate the reach-scaled II cannot
+  // see, so the agreement contract is checked where the models coincide.
+  if (spec.verify_dataflow) {
+    for (const auto& entry : result.entries) {
+      analysis::LintReport drift =
+          analysis::lint_entry_reach(acc, entry);
+      if (drift.has_errors()) {
+        throw ConfigError(drift.error_message());
+      }
+      const analysis::CrossValidation cv =
+          analysis::cross_validate(acc, entry.exit_fractions);
+      if (!cv.passed) {
+        throw ConfigError("dataflow cross-validation failed for " +
+                          std::string(to_string(point.variant)) + " rate " +
+                          std::to_string(point.rate_pct) + "% threshold " +
+                          std::to_string(entry.conf_threshold_pct) + "%: " +
+                          cv.summary() + "\n" + cv.lint.error_message());
+      }
+    }
+  }
+
   if (spec.mitigation.any()) {
     // ECC read-modify-write narrows the effective memory bandwidth; the
     // mitigation fabric draws its own dynamic power.

@@ -70,6 +70,14 @@ struct LibraryGenSpec {
   /// generated Library is byte-identical at every thread count, so this is
   /// deliberately NOT part of the artifact cache key.
   int num_threads = 0;
+  /// Cross-validate every Library row against the dataflow verifier
+  /// (analysis/dataflow.hpp): the entry's recorded throughput must match
+  /// the reach-scaled static model (R12) and the static II/occupancy
+  /// bounds must bracket the transaction-level simulator on the entry's
+  /// exit distribution. Failures throw ConfigError. Off by default (it
+  /// simulates two streams per row); like num_threads it does not change
+  /// the generated Library, so it must never enter an artifact cache key.
+  bool verify_dataflow = false;
   /// Progress sink (e.g. [](const std::string& s){ std::cerr << s << "\n"; }).
   /// May be called from worker threads, but calls are serialized under a
   /// mutex and design-point messages arrive in sweep order.
