@@ -5,12 +5,29 @@
 // conventions). FINN's shipped CNV folding has that property; a uniform
 // folding does not. This bench compares the two styles: steady-state IPS at
 // all-final vs all-early exit distributions, plus total resources.
+//
+// Part two compares reach-aware folding (hls/folding.hpp
+// reach_aware_folding) against the styled baseline across exit-fraction
+// regimes: gated IPS, LUT, and gated-throughput-per-kLUT, with every
+// reach-aware point run through the dataflow verifier and the agreement
+// harness. `--smoke` turns the comparison into a CI gate: it exits nonzero
+// unless every point verifies, never exceeds the styled resources, the
+// zero-exit regime reproduces the styled folds exactly, and at least three
+// regimes strictly improve gated throughput per LUT.
 
+#include <cstring>
+
+#include "analysis/dataflow.hpp"
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace adapex;
   using namespace adapex::bench;
+
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
 
   print_header("Ablation",
                "folding style: FINN-CNV style vs uniform caps (early-exit "
@@ -53,5 +70,135 @@ int main() {
                    std::to_string(acc.total.bram)});
   }
   emit(table, "ablation_folding");
+
+  // --- Part two: reach-aware vs styled across exit regimes. ---------------
+  print_header("Ablation",
+               "reach-aware folding vs styled baseline (gated throughput per "
+               "LUT across exit regimes)");
+
+  const AcceleratorConfig aconfig;
+  const analysis::DeviceProfile device = analysis::DeviceProfile::zcu104();
+  const FoldingConfig styled = styled_folding(sites);
+  const Accelerator styled_acc = compile_accelerator(model, styled, aconfig);
+
+  ReachAwareOptions ra_opts;
+  ra_opts.baseline = styled;
+  ra_opts.cost = aconfig.cost;
+  for (std::size_t e = 0; e < model.num_exits(); ++e) {
+    ra_opts.exit_after_block.push_back(model.exit(e).after_block);
+  }
+  ra_opts.fixed_overhead =
+      styled_acc.total - folding_site_resources(sites, styled, aconfig.cost);
+
+  const std::vector<std::vector<double>> regimes = {
+      {0.7, 0.2, 0.1},
+      {0.5, 0.3, 0.2},
+      {1.0 / 3, 1.0 / 3, 1.0 / 3},
+      {0.2, 0.3, 0.5},
+      {0.0, 0.0, 1.0},
+  };
+
+  TextTable reach_table({"regime", "ips_styled", "ips_reach", "lut_styled",
+                         "lut_reach", "ips_per_klut_styled",
+                         "ips_per_klut_reach", "gain", "verified"});
+  Json points = Json::array();
+  int strict_gains = 0;
+  bool all_verified = true;
+  bool within_styled_resources = true;
+  bool zero_exit_identical = true;
+
+  for (const auto& regime : regimes) {
+    const FoldingConfig ra =
+        reach_aware_folding(sites, regime, device.caps, ra_opts);
+    const Accelerator ra_acc = compile_accelerator(model, ra, aconfig);
+
+    // Verifier gate: the static rules must accept the design and the
+    // transaction-level simulator must agree on this regime's II.
+    analysis::DataflowOptions dopts;
+    dopts.device = device;
+    const analysis::DataflowReport dataflow =
+        analysis::analyze_dataflow(ra_acc, regime, dopts);
+    analysis::CrossValidateOptions cv_opts;
+    cv_opts.dataflow.device = device;
+    const analysis::CrossValidation cv =
+        analysis::cross_validate(ra_acc, regime, cv_opts);
+    const bool verified = !dataflow.lint.has_errors() && cv.passed;
+    all_verified = all_verified && verified;
+
+    within_styled_resources =
+        within_styled_resources && ra_acc.total.fits_within(styled_acc.total);
+    if (regime.back() == 1.0) {
+      zero_exit_identical =
+          zero_exit_identical && ra.folds == styled.folds;
+    }
+
+    const auto perf_s = estimate_performance(styled_acc, regime, power);
+    const auto perf_r = estimate_performance(ra_acc, regime, power);
+    const double eff_s =
+        perf_s.ips / (static_cast<double>(styled_acc.total.lut) / 1000.0);
+    const double eff_r =
+        perf_r.ips / (static_cast<double>(ra_acc.total.lut) / 1000.0);
+    if (eff_r > eff_s) ++strict_gains;
+
+    std::string regime_name;
+    for (double f : regime) {
+      if (!regime_name.empty()) regime_name += "/";
+      regime_name += TextTable::num(f, 2);
+    }
+    reach_table.add_row(
+        {regime_name, TextTable::num(perf_s.ips, 0),
+         TextTable::num(perf_r.ips, 0), std::to_string(styled_acc.total.lut),
+         std::to_string(ra_acc.total.lut), TextTable::num(eff_s, 1),
+         TextTable::num(eff_r, 1), TextTable::num(eff_r / eff_s, 3),
+         verified ? "yes" : "NO"});
+
+    Json p = Json::object();
+    Json fr = Json::array();
+    for (double f : regime) fr.push_back(f);
+    p["regime"] = std::move(fr);
+    p["ips_styled"] = perf_s.ips;
+    p["ips_reach"] = perf_r.ips;
+    p["lut_styled"] = static_cast<double>(styled_acc.total.lut);
+    p["lut_reach"] = static_cast<double>(ra_acc.total.lut);
+    p["ips_per_klut_styled"] = eff_s;
+    p["ips_per_klut_reach"] = eff_r;
+    p["verified"] = verified;
+    points.push_back(std::move(p));
+  }
+  emit(reach_table, "ablation_folding_reach");
+  {
+    Json root = Json::object();
+    root["device"] = device.name;
+    root["strict_gains"] = strict_gains;
+    root["all_verified"] = all_verified;
+    root["within_styled_resources"] = within_styled_resources;
+    root["zero_exit_identical"] = zero_exit_identical;
+    root["points"] = std::move(points);
+    const std::string path = results_dir() + "/ablation_folding_reach.json";
+    write_file(path, root.dump(2) + "\n");
+    std::cout << "[json] " << path << "\n";
+  }
+
+  if (smoke) {
+    int failures = 0;
+    auto require = [&](bool ok, const char* what) {
+      if (!ok) {
+        std::cerr << "[smoke] FAIL: " << what << "\n";
+        ++failures;
+      }
+    };
+    require(all_verified,
+            "every reach-aware point passes the dataflow verifier and "
+            "cross-validation");
+    require(within_styled_resources,
+            "reach-aware accelerators never exceed the styled resources");
+    require(zero_exit_identical,
+            "the zero-exit regime reproduces the styled folds exactly");
+    require(strict_gains >= 3,
+            "at least three regimes strictly improve gated IPS per kLUT");
+    if (failures != 0) return 4;
+    std::cout << "[smoke] reach-aware folding gate passed (" << strict_gains
+              << "/" << regimes.size() << " regimes improved)\n";
+  }
   return 0;
 }

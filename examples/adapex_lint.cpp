@@ -3,7 +3,7 @@
 //   adapex_lint [MODEL.adpx] [--folding FOLDING.json] [--device DEV]
 //               [--min-severity info|warning|error]
 //               [--in-channels N] [--image-size N]
-//               [--folding-style styled|default]
+//               [--folding-style styled|default|reach]
 //               [--scale W] [--exits paper|none]
 //               [--fractions F0,F1,...] [--verify] [--json]
 //               [--emit-folding PATH]
@@ -54,7 +54,7 @@ int usage() {
       "  adapex_lint [MODEL.adpx] [--folding FOLDING.json] [--device DEV]\n"
       "              [--min-severity info|warning|error]\n"
       "              [--in-channels N] [--image-size N]\n"
-      "              [--folding-style styled|default]\n"
+      "              [--folding-style styled|default|reach]\n"
       "              [--scale W] [--exits paper|none]\n"
       "              [--fractions F0,F1,...] [--verify] [--json]\n"
       "              [--emit-folding PATH]\n"
@@ -204,6 +204,29 @@ int main(int argc, char** argv) {
         folding = styled_folding(sites);
       } else if (style == "default") {
         folding = default_folding(sites);
+      } else if (style == "reach") {
+        // Reach-aware folds need the target exit regime (--fractions, or
+        // uniform) and the device budget (--device). The fixed overhead is
+        // taken from a compile of the styled baseline so the optimizer
+        // prices pool/branch/FIFO fabric it does not directly control.
+        ReachAwareOptions ra_opts;
+        ra_opts.baseline = styled_folding(sites);
+        for (std::size_t e = 0; e < model.num_exits(); ++e) {
+          ra_opts.exit_after_block.push_back(model.exit(e).after_block);
+        }
+        const Accelerator styled_acc =
+            compile_accelerator(model, ra_opts.baseline, config);
+        ra_opts.cost = config.cost;
+        ra_opts.fixed_overhead =
+            styled_acc.total -
+            folding_site_resources(sites, ra_opts.baseline, config.cost);
+        std::vector<double> fractions = options.exit_fractions;
+        if (fractions.empty()) {
+          fractions.assign(model.num_outputs(),
+                           1.0 / static_cast<double>(model.num_outputs()));
+        }
+        folding = reach_aware_folding(sites, fractions, options.device.caps,
+                                      ra_opts);
       } else {
         throw ConfigError("unknown folding style: " + style);
       }

@@ -24,6 +24,11 @@ struct EmitState {
 struct Emitter {
   const FoldingConfig& folding;
   const AcceleratorConfig& config;
+  /// Walk-order sites (model/walk.hpp) — the same indexing the folding
+  /// config uses, so geometry and cycle costs route through the shared
+  /// site helpers (hls/folding.hpp) and cannot drift from the folding
+  /// optimizers' objective.
+  const std::vector<LayerSite>& sites;
   std::vector<HlsModule> modules;
   std::size_t fold_index = 0;  // walk-order cursor
 
@@ -38,17 +43,12 @@ struct Emitter {
       Layer& layer = seq.layer(i);
       switch (layer.kind()) {
         case LayerKind::kConv: {
-          auto& conv = static_cast<QuantConv2d&>(layer);
-          const LayerFold fold = next_fold();
-          MvtuGeometry g;
-          g.is_conv = true;
-          g.in_channels = conv.in_channels();
-          g.out_channels = conv.out_channels();
-          g.kernel = conv.kernel();
-          g.in_dim = state.dim;
-          g.out_dim = ops::out_dim(state.dim, conv.kernel(), 1);
-          g.weight_bits = conv.weight_bits() > 0 ? conv.weight_bits() : 32;
-          g.act_bits = act_bits_default;
+          const std::size_t idx = next_index(layer);
+          const LayerSite& site = sites[idx];
+          const LayerFold fold = folding.folds[idx];
+          const MvtuGeometry g = site_mvtu_geometry(site);
+          ADAPEX_ASSERT(g.in_dim == state.dim);
+          ADAPEX_ASSERT(g.act_bits == act_bits_default);
 
           HlsModule swu;
           swu.kind = HlsModuleKind::kSwu;
@@ -65,7 +65,7 @@ struct Emitter {
           HlsModule mvtu;
           mvtu.kind = HlsModuleKind::kMvtu;
           mvtu.name = prefix + "." + std::to_string(i) + ".mvtu";
-          mvtu.cycles = mvtu_cycles(g, fold.pe, fold.simd);
+          mvtu.cycles = site_fold_cycles(site, fold);
           mvtu.resources = mvtu_resources(g, fold.pe, fold.simd, config.cost);
           mvtu.exit_level = exit_level;
           mvtu.exit_head = exit_head;
@@ -74,28 +74,22 @@ struct Emitter {
           path.push_back(static_cast<int>(modules.size()));
           modules.push_back(mvtu);
 
-          state.channels = conv.out_channels();
+          state.channels = site.out_channels;
           state.dim = g.out_dim;
           state.stream_pe = fold.pe;
           break;
         }
         case LayerKind::kLinear: {
-          auto& fc = static_cast<QuantLinear&>(layer);
-          const LayerFold fold = next_fold();
-          MvtuGeometry g;
-          g.is_conv = false;
-          g.in_channels = fc.in_features();
-          g.out_channels = fc.out_features();
-          g.kernel = 1;
-          g.in_dim = 1;
-          g.out_dim = 1;
-          g.weight_bits = fc.weight_bits() > 0 ? fc.weight_bits() : 32;
-          g.act_bits = act_bits_default;
+          const std::size_t idx = next_index(layer);
+          const LayerSite& site = sites[idx];
+          const LayerFold fold = folding.folds[idx];
+          const MvtuGeometry g = site_mvtu_geometry(site);
+          ADAPEX_ASSERT(g.act_bits == act_bits_default);
 
           HlsModule mvtu;
           mvtu.kind = HlsModuleKind::kMvtu;
           mvtu.name = prefix + "." + std::to_string(i) + ".mvtu";
-          mvtu.cycles = mvtu_cycles(g, fold.pe, fold.simd);
+          mvtu.cycles = site_fold_cycles(site, fold);
           mvtu.resources = mvtu_resources(g, fold.pe, fold.simd, config.cost);
           mvtu.exit_level = exit_level;
           mvtu.exit_head = exit_head;
@@ -104,7 +98,7 @@ struct Emitter {
           path.push_back(static_cast<int>(modules.size()));
           modules.push_back(mvtu);
 
-          state.features = fc.out_features();
+          state.features = site.out_channels;
           state.stream_pe = fold.pe;
           break;
         }
@@ -140,10 +134,14 @@ struct Emitter {
     }
   }
 
-  LayerFold next_fold() {
+  /// Advances the walk-order cursor for one compute layer, checking the
+  /// emit order against the walk sites.
+  std::size_t next_index(const Layer& layer) {
     ADAPEX_CHECK(fold_index < folding.folds.size(),
                  "folding config shorter than model layer list");
-    return folding.folds[fold_index++];
+    ADAPEX_ASSERT(fold_index < sites.size() &&
+                  sites[fold_index].layer == &layer);
+    return fold_index++;
   }
 };
 
@@ -157,7 +155,9 @@ Accelerator compile_accelerator(BranchyModel& model,
   // the old first-check-wins ADAPEX_CHECK aborts.
   analysis::require_valid_design(model, folding, config);
 
-  Emitter emitter{folding, config, {}, 0};
+  const std::vector<LayerSite> sites =
+      walk_compute_layers(model, config.in_channels, config.image_size);
+  Emitter emitter{folding, config, sites, {}, 0};
   Accelerator acc;
   acc.fclk_mhz = config.fclk_mhz;
   acc.num_exits = static_cast<int>(model.num_exits());

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/json.hpp"
+#include "hls/modules.hpp"
 #include "model/walk.hpp"
 
 namespace adapex {
@@ -26,16 +27,50 @@ namespace adapex {
 struct LayerFold {
   int pe = 1;
   int simd = 1;
+
+  friend bool operator==(const LayerFold& a, const LayerFold& b) {
+    return a.pe == b.pe && a.simd == b.simd;
+  }
+  friend bool operator!=(const LayerFold& a, const LayerFold& b) {
+    return !(a == b);
+  }
 };
 
 /// Per-layer folding for a whole accelerator.
 struct FoldingConfig {
   std::vector<LayerFold> folds;  ///< One per compute layer, walk order.
 
+  /// Keyed by site name; throws ConfigError when two sites share a name
+  /// (a silent overwrite would alias their folds on the round trip).
   Json to_json(const std::vector<LayerSite>& sites) const;
   static FoldingConfig from_json(const Json& j,
                                  const std::vector<LayerSite>& sites);
 };
+
+/// The matrix width SIMD must divide: k^2 * ch_in for conv (FINN's MVAU
+/// unrolls across the whole im2col window), input features for fc.
+int site_matrix_width(const LayerSite& site);
+
+/// Cycles the site's MVTU spends per full-traffic image under `fold` — the
+/// single cycles-per-fold model shared by balanced_folding,
+/// reach_aware_folding, and the accelerator compiler
+/// (finn/accelerator.cpp), so an optimizer objective cannot drift from
+/// estimate_performance. Geometry only; works on synthetic sites without
+/// layer pointers.
+long site_fold_cycles(const LayerSite& site, const LayerFold& fold);
+
+/// Resolves the full MVTU geometry of a walk site exactly as the
+/// accelerator compiler does: weight bits from the layer (unquantized ->
+/// 32), activation bits from the nearest preceding ActQuant in the same
+/// container (default 2). Requires the site's layer/container pointers.
+MvtuGeometry site_mvtu_geometry(const LayerSite& site);
+
+/// Aggregate MVTU (+SWU for conv) resources of `folding` over the sites —
+/// the fabric share a folding optimizer reallocates. Pool/branch/misc
+/// fabric is the caller's fixed overhead (Accelerator::total minus this).
+Resources folding_site_resources(const std::vector<LayerSite>& sites,
+                                 const FoldingConfig& folding,
+                                 const HlsCostModel& cost = HlsCostModel{});
 
 /// Largest divisor of `n` that is <= `cap` (>= 1).
 int largest_divisor_at_most(int n, int cap);
@@ -84,5 +119,47 @@ FoldingConfig styled_folding(const std::vector<LayerSite>& sites,
 /// FINN's target-fps-driven SetFolding transformation.
 FoldingConfig balanced_folding(const std::vector<LayerSite>& sites,
                                long target_cycles, int pe_cap, int simd_cap);
+
+/// Knobs for reach_aware_folding.
+struct ReachAwareOptions {
+  /// Baseline folds the optimizer starts from and must weakly dominate
+  /// (same walk order as the sites). Empty folds: styled_folding(sites,
+  /// style). Callers whose model was pruned under a pre-prune styled
+  /// config pass that config here so the baseline matches the compiled
+  /// styled accelerator exactly.
+  FoldingConfig baseline;
+  FoldingStyle style;
+  /// ExitSpec::after_block per exit, ascending — locates the branch points
+  /// so every site's gate level (and thus its reach) can be derived. One
+  /// entry per exit; exit_fractions has one more entry (the final output).
+  std::vector<int> exit_after_block;
+  /// Resource model pricing the folds (must match the accelerator's).
+  HlsCostModel cost;
+  /// Fabric outside the MVTU/SWU sites (pool/branch units, mitigation
+  /// logic, ...) charged against the budget but not reallocated. Compute
+  /// as compiled_total - folding_site_resources(sites, baseline, cost).
+  Resources fixed_overhead;
+  /// Safety cap on greedy reallocation rounds.
+  int max_rounds = 4096;
+};
+
+/// Reach-aware heterogeneous folding (ATHEENA-style, see DESIGN.md
+/// "Reach-aware folding"): under stream gating a post-branch module only
+/// sees the traffic fraction reach_m that survives every upstream exit, so
+/// its *gated* initiation interval is cycles_m * reach_m. Given an
+/// exit-fraction operating regime, this optimizer (1) shrinks PE/SIMD on
+/// gated sites to the cheapest fold whose gated II still meets the
+/// baseline bottleneck, (2) folds further down if the budget is tighter
+/// than the baseline aggregate, then (3) greedily reinvests the freed
+/// LUT/FF/BRAM/DSP into the bottleneck sites (the full-traffic front end)
+/// while the aggregate stays within both the baseline's resource use and
+/// `budget - fixed_overhead` per axis. The result therefore always weakly
+/// dominates the baseline: gated throughput is never lower, resource use
+/// never higher. A zero-exit regime (all reach == 1) returns the baseline
+/// byte-identically. Deterministic: no randomness, stable tie-breaking.
+FoldingConfig reach_aware_folding(const std::vector<LayerSite>& sites,
+                                  const std::vector<double>& exit_fractions,
+                                  const Resources& budget,
+                                  const ReachAwareOptions& options = {});
 
 }  // namespace adapex

@@ -41,6 +41,21 @@ struct Resources {
     a += b;
     return a;
   }
+  Resources& operator-=(const Resources& other) {
+    lut -= other.lut;
+    ff -= other.ff;
+    bram -= other.bram;
+    dsp -= other.dsp;
+    return *this;
+  }
+  friend Resources operator-(Resources a, const Resources& b) {
+    a -= b;
+    return a;
+  }
+  /// True when every axis of `*this` is within `cap`.
+  bool fits_within(const Resources& cap) const {
+    return lut <= cap.lut && ff <= cap.ff && bram <= cap.bram && dsp <= cap.dsp;
+  }
 };
 
 /// Kinds of streaming modules.

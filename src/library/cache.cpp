@@ -15,7 +15,7 @@ namespace {
 /// Bump whenever the key layout below changes (or a generation-relevant
 /// field starts/stops being hashed): every cached artifact written under an
 /// older schema is then ignored rather than silently reused.
-constexpr int kCacheKeySchema = 2;
+constexpr int kCacheKeySchema = 3;
 
 /// Streams every generation-relevant *value* into a readable key string.
 /// Schema v1 hashed only the sizes of the sweeps and the variant count and
@@ -155,8 +155,8 @@ std::string library_cache_key(const LibraryGenSpec& spec) {
       .field("reconfig.lut", spec.reconfig.ms_per_100klut);
 
   // Mitigation fields enter the key only when a mitigation is enabled, so
-  // every pre-existing mitigation-free key (and its cached artifact) stays
-  // valid under schema 2.
+  // mitigation-free keys (and their cached artifacts) are unaffected by
+  // mitigation knobs within a schema.
   if (spec.mitigation.any()) {
     key.field("mit.ecc", spec.mitigation.ecc_weights)
         .field("mit.scrub", spec.mitigation.scrubbing)
@@ -172,6 +172,23 @@ std::string library_cache_key(const LibraryGenSpec& spec) {
         .field("mit.scrub_bram", spec.mitigation_cost.scrub_bram)
         .field("mit.tmr_lut", spec.mitigation_cost.tmr_voter_lut)
         .field("mit.tmr_ff", spec.mitigation_cost.tmr_voter_ff);
+  }
+
+  // Reach-aware fields enter the key only when regimes are configured:
+  // reach-free specs generate reach-free Libraries, so future reach knobs
+  // (device caps, extra regimes) can never perturb their keys. The schema
+  // bump to 3 above still retires every v2 artifact once, because v3
+  // records may carry folding_mode/reach_regime fields v2 readers ignore.
+  if (!spec.reach_regimes.empty()) {
+    key.field("reach.device", spec.reach_device.name)
+        .field("reach.lut", spec.reach_device.caps.lut)
+        .field("reach.ff", spec.reach_device.caps.ff)
+        .field("reach.bram", spec.reach_device.caps.bram)
+        .field("reach.dsp", spec.reach_device.caps.dsp);
+    for (std::size_t i = 0; i < spec.reach_regimes.size(); ++i) {
+      key.list(("reach.regime" + std::to_string(i)).c_str(),
+               spec.reach_regimes[i]);
+    }
   }
 
   // NOTE: spec.num_threads and spec.on_progress are deliberately excluded —

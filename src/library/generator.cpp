@@ -52,9 +52,12 @@ struct DesignPoint {
 
 /// Everything a design-point task produces. Tasks fill exactly their own
 /// slot; the Library is assembled from the slots in sweep order after the
-/// barrier, which is what makes the output independent of scheduling.
+/// barrier, which is what makes the output independent of scheduling. A
+/// point yields one styled accelerator plus, when reach regimes are
+/// configured and the point has exits, one reach-aware accelerator per
+/// regime (ids pre-assigned from the point's contiguous id block).
 struct DesignPointResult {
-  AcceleratorRecord accelerator;
+  std::vector<AcceleratorRecord> accelerators;
   std::vector<LibraryEntry> entries;
   std::string progress_msg;
 };
@@ -127,7 +130,8 @@ std::size_t resolve_thread_count(const LibraryGenSpec& spec) {
 DesignPointResult run_design_point(const LibraryGenSpec& spec,
                                    const SyntheticDataset& data,
                                    const BranchyModel& base,
-                                   const DesignPoint& point, int accel_id) {
+                                   const DesignPoint& point,
+                                   int accel_id_base) {
   DesignPointResult result;
   const bool has_exits = point.variant != ModelVariant::kNoExit;
 
@@ -150,102 +154,188 @@ DesignPointResult run_design_point(const LibraryGenSpec& spec,
     train_model(model, data.train, spec.dataset.flip_symmetry, rt);
   }
 
-  const Accelerator acc = compile_accelerator(model, folding, spec.accel);
-  result.accelerator.id = accel_id;
-  result.accelerator.variant = point.variant;
-  result.accelerator.prune_rate_pct = point.rate_pct;
-  result.accelerator.resources = acc.total;
-  result.accelerator.exit_overhead = acc.exit_overhead;
-  // Reconfiguration time is modeled from the functional design; the
-  // mitigation logic below adds a few percent of fabric that the bitstream
-  // model deliberately ignores.
-  result.accelerator.reconfig_ms = spec.reconfig.time_ms(acc);
-
-  // Soft-error mitigation overheads (finn/mitigation.hpp): extra fabric on
-  // the accelerator record, and a throughput/power tax applied to every
-  // Library row after it is built. Skipped entirely when no mitigation is
-  // enabled, so mitigation-free libraries are byte-identical.
-  MitigationReport mitigation;
-  if (spec.mitigation.any()) {
-    mitigation = estimate_mitigation(acc, spec.mitigation, spec.mitigation_cost);
-    result.accelerator.resources += mitigation.overhead;
-    result.accelerator.mitigation = spec.mitigation;
-    result.accelerator.mitigation_overhead = mitigation.overhead;
-  }
-
   // Serial eval (num_threads=1): run_design_point already executes inside a
   // design-point pool worker, and pool tasks must not spin up nested pools.
+  // Evaluated once; all accelerators of this point share the model, so the
+  // per-threshold exit statistics are identical across them.
   const ExitEvaluation eval =
       evaluate_exits(model, data.test, /*batch_size=*/32, /*num_threads=*/1);
-  if (!has_exits) {
-    const auto stats = apply_threshold(eval, 2.0);
-    const auto perf = estimate_performance(acc, {1.0}, spec.power);
-    LibraryEntry entry;
-    entry.accel_id = accel_id;
-    entry.variant = point.variant;
-    entry.prune_rate_pct = point.rate_pct;
-    entry.conf_threshold_pct = -1;
-    entry.accuracy = stats.accuracy;
-    entry.exit_fractions = {1.0};
-    entry.ips = perf.ips;
-    entry.latency_ms = perf.latency_ms;
-    entry.peak_power_w = perf.peak_power_w;
-    entry.energy_per_inf_j = perf.energy_per_inf_j;
-    result.entries.push_back(entry);
-  } else {
-    for (int ct : spec.conf_thresholds_pct) {
-      const auto stats = apply_threshold(eval, ct / 100.0);
-      const auto perf =
-          estimate_performance(acc, stats.exit_fraction, spec.power);
+
+  // Builds the record and Library rows of one synthesized accelerator,
+  // runs the optional per-entry verification, and applies the mitigation
+  // tax — identical to the pre-reach single-accelerator flow when called
+  // once with the styled design.
+  auto emit_accelerator = [&](const Accelerator& acc, int accel_id,
+                              const char* folding_mode,
+                              const std::vector<double>& regime) {
+    AcceleratorRecord rec;
+    rec.id = accel_id;
+    rec.variant = point.variant;
+    rec.prune_rate_pct = point.rate_pct;
+    rec.resources = acc.total;
+    rec.exit_overhead = acc.exit_overhead;
+    // Reconfiguration time is modeled from the functional design; the
+    // mitigation logic below adds a few percent of fabric that the
+    // bitstream model deliberately ignores.
+    rec.reconfig_ms = spec.reconfig.time_ms(acc);
+    rec.folding_mode = folding_mode;
+    rec.reach_regime = regime;
+
+    // Soft-error mitigation overheads (finn/mitigation.hpp): extra fabric
+    // on the accelerator record, and a throughput/power tax applied to
+    // every Library row after it is built. Skipped entirely when no
+    // mitigation is enabled, so mitigation-free libraries are
+    // byte-identical.
+    MitigationReport mitigation;
+    if (spec.mitigation.any()) {
+      mitigation =
+          estimate_mitigation(acc, spec.mitigation, spec.mitigation_cost);
+      rec.resources += mitigation.overhead;
+      rec.mitigation = spec.mitigation;
+      rec.mitigation_overhead = mitigation.overhead;
+    }
+
+    std::vector<LibraryEntry> entries;
+    if (!has_exits) {
+      const auto stats = apply_threshold(eval, 2.0);
+      const auto perf = estimate_performance(acc, {1.0}, spec.power);
       LibraryEntry entry;
       entry.accel_id = accel_id;
       entry.variant = point.variant;
       entry.prune_rate_pct = point.rate_pct;
-      entry.conf_threshold_pct = ct;
+      entry.conf_threshold_pct = -1;
       entry.accuracy = stats.accuracy;
-      entry.exit_fractions = stats.exit_fraction;
+      entry.exit_fractions = {1.0};
       entry.ips = perf.ips;
       entry.latency_ms = perf.latency_ms;
       entry.peak_power_w = perf.peak_power_w;
       entry.energy_per_inf_j = perf.energy_per_inf_j;
-      result.entries.push_back(entry);
+      entries.push_back(entry);
+    } else {
+      for (int ct : spec.conf_thresholds_pct) {
+        const auto stats = apply_threshold(eval, ct / 100.0);
+        const auto perf =
+            estimate_performance(acc, stats.exit_fraction, spec.power);
+        LibraryEntry entry;
+        entry.accel_id = accel_id;
+        entry.variant = point.variant;
+        entry.prune_rate_pct = point.rate_pct;
+        entry.conf_threshold_pct = ct;
+        entry.accuracy = stats.accuracy;
+        entry.exit_fractions = stats.exit_fraction;
+        entry.ips = perf.ips;
+        entry.latency_ms = perf.latency_ms;
+        entry.peak_power_w = perf.peak_power_w;
+        entry.energy_per_inf_j = perf.energy_per_inf_j;
+        entries.push_back(entry);
+      }
     }
-  }
-  // Dataflow verification runs on the untaxed rows: the mitigation
-  // throughput factor below is a modeled derate the reach-scaled II cannot
-  // see, so the agreement contract is checked where the models coincide.
-  if (spec.verify_dataflow) {
-    for (const auto& entry : result.entries) {
-      analysis::LintReport drift =
-          analysis::lint_entry_reach(acc, entry);
-      if (drift.has_errors()) {
-        throw ConfigError(drift.error_message());
+    // Dataflow verification runs on the untaxed rows: the mitigation
+    // throughput factor below is a modeled derate the reach-scaled II
+    // cannot see, so the agreement contract is checked where the models
+    // coincide.
+    if (spec.verify_dataflow) {
+      for (const auto& entry : entries) {
+        analysis::LintReport drift = analysis::lint_entry_reach(acc, entry);
+        if (drift.has_errors()) {
+          throw ConfigError(drift.error_message());
+        }
+        const analysis::CrossValidation cv =
+            analysis::cross_validate(acc, entry.exit_fractions);
+        if (!cv.passed) {
+          throw ConfigError("dataflow cross-validation failed for " +
+                            std::string(to_string(point.variant)) + " rate " +
+                            std::to_string(point.rate_pct) + "% threshold " +
+                            std::to_string(entry.conf_threshold_pct) + "%: " +
+                            cv.summary() + "\n" + cv.lint.error_message());
+        }
       }
+    }
+
+    if (spec.mitigation.any()) {
+      // ECC read-modify-write narrows the effective memory bandwidth; the
+      // mitigation fabric draws its own dynamic power.
+      const double factor = mitigation.throughput_factor;
+      const double mit_w = spec.power.module_peak_w(mitigation.overhead);
+      for (auto& entry : entries) {
+        entry.ips *= factor;
+        entry.latency_ms /= factor;
+        entry.peak_power_w += mit_w;
+        entry.energy_per_inf_j =
+            entry.energy_per_inf_j / factor + mit_w / std::max(entry.ips, 1e-9);
+      }
+    }
+    result.accelerators.push_back(std::move(rec));
+    for (auto& entry : entries) result.entries.push_back(std::move(entry));
+  };
+
+  const Accelerator acc = compile_accelerator(model, folding, spec.accel);
+  emit_accelerator(acc, accel_id_base, "styled", {});
+
+  // Reach-aware Pareto points: one extra accelerator per configured exit
+  // regime, sharing the pruned model and its evaluation. Every point is
+  // gated behind the dataflow verifier unconditionally — the optimizer can
+  // never ship a config the static model rejects or the transaction-level
+  // simulator disagrees with.
+  if (has_exits && !spec.reach_regimes.empty()) {
+    // The model was pruned above, so re-walk for current geometry; the
+    // styled baseline folds index the same walk order (pruning preserves
+    // the divisibility of the folds it was given).
+    auto pruned_sites = walk_compute_layers(model, spec.accel.in_channels,
+                                            spec.accel.image_size);
+    ReachAwareOptions ra_opts;
+    ra_opts.baseline = folding;
+    ra_opts.cost = spec.accel.cost;
+    for (const ExitSpec& e : spec.exits.exits) {
+      ra_opts.exit_after_block.push_back(e.after_block);
+    }
+    ra_opts.fixed_overhead =
+        acc.total -
+        folding_site_resources(pruned_sites, folding, spec.accel.cost);
+    for (std::size_t k = 0; k < spec.reach_regimes.size(); ++k) {
+      const std::vector<double>& regime = spec.reach_regimes[k];
+      ADAPEX_CHECK(static_cast<int>(regime.size()) == acc.num_exits + 1,
+                   "reach regime arity must equal accelerator outputs");
+      const FoldingConfig ra = reach_aware_folding(
+          pruned_sites, regime, spec.reach_device.caps, ra_opts);
+      const Accelerator acc_ra = compile_accelerator(model, ra, spec.accel);
+
+      analysis::DataflowOptions dopts;
+      dopts.device = spec.reach_device;
+      const analysis::DataflowReport dataflow =
+          analysis::analyze_dataflow(acc_ra, regime, dopts);
+      if (dataflow.lint.has_errors()) {
+        throw ConfigError(
+            "reach-aware folding rejected by the dataflow verifier (" +
+            std::string(to_string(point.variant)) + " rate " +
+            std::to_string(point.rate_pct) + "%, regime " + std::to_string(k) +
+            "): " + dataflow.lint.error_message());
+      }
+      analysis::CrossValidateOptions cv_opts;
+      cv_opts.dataflow.device = spec.reach_device;
       const analysis::CrossValidation cv =
-          analysis::cross_validate(acc, entry.exit_fractions);
+          analysis::cross_validate(acc_ra, regime, cv_opts);
       if (!cv.passed) {
-        throw ConfigError("dataflow cross-validation failed for " +
+        throw ConfigError("reach-aware cross-validation failed (" +
                           std::string(to_string(point.variant)) + " rate " +
-                          std::to_string(point.rate_pct) + "% threshold " +
-                          std::to_string(entry.conf_threshold_pct) + "%: " +
-                          cv.summary() + "\n" + cv.lint.error_message());
+                          std::to_string(point.rate_pct) + "%, regime " +
+                          std::to_string(k) + "): " + cv.summary() + "\n" +
+                          cv.lint.error_message());
       }
+      // The optimizer never uses more fabric than the styled baseline, so
+      // a fitting styled design must stay fitting.
+      if (spec.reach_device.fits(acc.total) &&
+          !spec.reach_device.fits(acc_ra.total)) {
+        throw ConfigError("reach-aware folding exceeded the device budget (" +
+                          std::string(to_string(point.variant)) + " rate " +
+                          std::to_string(point.rate_pct) + "%, regime " +
+                          std::to_string(k) + ")");
+      }
+      emit_accelerator(acc_ra, accel_id_base + 1 + static_cast<int>(k),
+                       "reach", regime);
     }
   }
 
-  if (spec.mitigation.any()) {
-    // ECC read-modify-write narrows the effective memory bandwidth; the
-    // mitigation fabric draws its own dynamic power.
-    const double factor = mitigation.throughput_factor;
-    const double mit_w = spec.power.module_peak_w(mitigation.overhead);
-    for (auto& entry : result.entries) {
-      entry.ips *= factor;
-      entry.latency_ms /= factor;
-      entry.peak_power_w += mit_w;
-      entry.energy_per_inf_j =
-          entry.energy_per_inf_j / factor + mit_w / std::max(entry.ips, 1e-9);
-    }
-  }
   result.progress_msg = std::string(to_string(point.variant)) + " rate " +
                         std::to_string(point.rate_pct) + "%: achieved " +
                         std::to_string(report.achieved_rate);
@@ -307,11 +397,27 @@ Library generate_library(const LibraryGenSpec& spec) {
   const std::size_t num_threads =
       std::min(resolve_thread_count(spec), std::max<std::size_t>(points.size(), 1));
 
+  // Pre-assign each design point a contiguous accelerator-id block (styled
+  // first, then one id per reach regime for exit points), so ids are dense,
+  // stable across thread counts, and reduce to 0..N-1 when no regimes are
+  // configured.
+  std::vector<int> id_base(points.size());
+  {
+    int next_id = 0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      id_base[i] = next_id;
+      const bool point_has_exits = points[i].variant != ModelVariant::kNoExit;
+      next_id += 1 + static_cast<int>(point_has_exits
+                                          ? spec.reach_regimes.size()
+                                          : 0);
+    }
+  }
+
   auto run_point = [&](std::size_t i) {
     const DesignPoint& p = points[i];
     const BranchyModel& base =
         p.variant != ModelVariant::kNoExit ? base_ee : base_plain;
-    results[i] = run_design_point(spec, data, base, p, static_cast<int>(i));
+    results[i] = run_design_point(spec, data, base, p, id_base[i]);
   };
 
   if (num_threads <= 1) {
@@ -344,7 +450,9 @@ Library generate_library(const LibraryGenSpec& spec) {
   }
 
   for (auto& result : results) {
-    lib.accelerators.push_back(result.accelerator);
+    for (auto& rec : result.accelerators) {
+      lib.accelerators.push_back(std::move(rec));
+    }
     for (auto& entry : result.entries) lib.entries.push_back(std::move(entry));
   }
   return lib;

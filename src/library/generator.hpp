@@ -29,6 +29,7 @@
 #include <functional>
 #include <vector>
 
+#include "analysis/device.hpp"
 #include "data/dataset.hpp"
 #include "finn/accelerator.hpp"
 #include "finn/reconfig.hpp"
@@ -64,6 +65,20 @@ struct LibraryGenSpec {
   /// the accelerator records and Library rows.
   SeuMitigation mitigation;
   MitigationCostModel mitigation_cost;
+  /// Reach-aware folding regimes (ATHEENA-style heterogeneous folds): for
+  /// every exit-fraction regime listed here, each early-exit design point
+  /// additionally synthesizes an accelerator whose post-branch folds are
+  /// shrunk to the regime's reach and whose freed fabric is reinvested in
+  /// the full-traffic front end (hls/folding.hpp reach_aware_folding),
+  /// emitted as extra Pareto rows. Every such accelerator is gated behind
+  /// the dataflow verifier regardless of `verify_dataflow`: rules R8-R14
+  /// must report no errors and cross_validate must agree on the regime, or
+  /// generation throws. Each regime needs one fraction per output (exits
+  /// then final). Empty (the default): the mode is off and the generated
+  /// Library is byte-identical to previous schemas.
+  std::vector<std::vector<double>> reach_regimes;
+  /// Device whose resource caps bound reach-aware reallocation.
+  analysis::DeviceProfile reach_device = analysis::DeviceProfile::zcu104();
   std::uint64_t seed = 7;
   /// Design-point parallelism: 0 resolves ADAPEX_THREADS (default:
   /// hardware_concurrency), 1 runs serially on the calling thread. The

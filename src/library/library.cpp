@@ -72,6 +72,12 @@ Json AcceleratorRecord::to_json() const {
     j["mitigation"] = mitigation_to_json(mitigation);
     j["mitigation_overhead"] = resources_to_json(mitigation_overhead);
   }
+  if (folding_mode != "styled") {
+    j["folding_mode"] = folding_mode;
+    Json regime = Json::array();
+    for (double f : reach_regime) regime.push_back(f);
+    j["reach_regime"] = std::move(regime);
+  }
   return j;
 }
 
@@ -86,6 +92,12 @@ AcceleratorRecord AcceleratorRecord::from_json(const Json& j) {
   if (j.contains("mitigation")) {
     r.mitigation = mitigation_from_json(j.at("mitigation"));
     r.mitigation_overhead = resources_from_json(j.at("mitigation_overhead"));
+  }
+  if (j.contains("folding_mode")) {
+    r.folding_mode = j.at("folding_mode").as_string();
+    for (const auto& f : j.at("reach_regime").as_array()) {
+      r.reach_regime.push_back(f.as_number());
+    }
   }
   return r;
 }

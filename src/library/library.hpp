@@ -44,6 +44,13 @@ struct AcceleratorRecord {
   /// a mitigation is enabled, so mitigation-free libraries are unchanged.
   SeuMitigation mitigation;
   Resources mitigation_overhead;
+  /// Folding mode the bitstream was generated with: "styled" (default) or
+  /// "reach" — ATHEENA-style reach-aware folds optimized for the exit
+  /// fractions in `reach_regime` (hls/folding.hpp reach_aware_folding).
+  /// Serialized only for non-styled records, so existing libraries
+  /// round-trip unchanged.
+  std::string folding_mode = "styled";
+  std::vector<double> reach_regime;
 
   Json to_json() const;
   static AcceleratorRecord from_json(const Json& j);
