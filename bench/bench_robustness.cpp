@@ -129,7 +129,7 @@ int main(int argc, char** argv) {
                      TextTable::num(m.reconfig_failures / double(runs), 1),
                      TextTable::num(m.reconfig_retries / double(runs), 1),
                      TextTable::num(m.watchdog_recoveries / double(runs), 1),
-                     TextTable::num(m.degraded_time_s, 2)});
+                     TextTable::num(m.degraded_time_s / double(runs), 2)});
       // Full metric dump via the finiteness-checked writer, plus the sweep
       // coordinates of this point.
       Json p = m.to_json();

@@ -148,7 +148,7 @@ int main(int argc, char** argv) {
                      TextTable::num(m.accuracy * 100.0, 2),
                      TextTable::num(m.seu_scrubs / double(runs), 1),
                      TextTable::num(m.seu_reloads / double(runs), 1),
-                     TextTable::num(m.scrub_overhead_s, 3),
+                     TextTable::num(m.scrub_overhead_s / double(runs), 3),
                      TextTable::num(m.availability_pct, 2)});
       Json p = m.to_json();
       p["upset_prob"] = prob;

@@ -7,6 +7,7 @@
 //               [--scale W] [--exits paper|none]
 //               [--fractions F0,F1,...] [--verify] [--json]
 //               [--emit-folding PATH]
+//   adapex_lint --fleet-scenario SCENARIO.json [--min-severity ...] [--json]
 //
 // Lints a (model, folding, accelerator-config) design point and prints the
 // structured findings as a table (rule, severity, site, message, fix hint).
@@ -21,6 +22,11 @@
 // agreement harness: the static II and FIFO occupancy bounds are
 // cross-validated against the transaction-level pipeline simulator, and any
 // bracket violation is reported as an XV error.
+//
+// --fleet-scenario switches the tool to the serving-drill rules: the JSON
+// is parsed as a FleetScenario and checked against FS1-FS8 (plus the edge
+// scenario and fault-spec rules on its base), skipping the model path
+// entirely. The same --json / --min-severity / exit-code contract applies.
 //
 // --json replaces the table with a machine-readable document on stdout
 // ({"errors", "warnings", "infos", "diagnostics": [...], ...}) for CI
@@ -41,6 +47,7 @@
 
 #include "analysis/dataflow.hpp"
 #include "analysis/lint.hpp"
+#include "edge/fleet.hpp"
 #include "model/cnv.hpp"
 #include "model/serialize.hpp"
 
@@ -58,6 +65,8 @@ int usage() {
       "              [--scale W] [--exits paper|none]\n"
       "              [--fractions F0,F1,...] [--verify] [--json]\n"
       "              [--emit-folding PATH]\n"
+      "  adapex_lint --fleet-scenario SCENARIO.json [--min-severity ...]"
+      " [--json]\n"
       "devices: zcu104 (default) | ultra96 | zcu102\n"
       "exit codes: 0 clean, 3 errors found, 1 usage, 2 runtime failure\n";
   return 1;
@@ -127,6 +136,25 @@ int main(int argc, char** argv) {
   const bool json = flags.count("json") > 0;
 
   try {
+    const analysis::Severity min_severity_early =
+        flags.count("min-severity")
+            ? severity_from_string(flags["min-severity"])
+            : analysis::Severity::kInfo;
+    if (flags.count("fleet-scenario")) {
+      // Serving-drill mode: lint a FleetScenario JSON (FS1-FS8 plus the
+      // edge/fault rules on its base) and skip the model path entirely.
+      const Json j = Json::parse(read_file(flags["fleet-scenario"]));
+      const FleetScenario scenario = FleetScenario::from_json(j);
+      const analysis::LintReport report = lint_fleet_scenario(scenario);
+      const int code = emit(report, min_severity_early, json, "", Json());
+      if (!json) {
+        std::cerr << "(" << scenario.devices.size() << " devices, "
+                  << scenario.tenants.size() << " tenants, "
+                  << scenario.fleet_faults.domains.size() << " domains)\n";
+      }
+      return code;
+    }
+
     AcceleratorConfig config;
     if (flags.count("in-channels")) {
       config.in_channels = std::stoi(flags["in-channels"]);

@@ -6,32 +6,17 @@
 #include <limits>
 #include <sstream>
 
-#include "common/rng.hpp"
-#include "runtime/monitor.hpp"
+#include "edge/device_sim.hpp"
 
 namespace adapex {
 
 namespace {
 
-// Stream identifier for the manager's backoff-jitter seed (the workload
-// model consumes scenario.seed directly; the fault injector derives its own
-// per-category streams).
-constexpr std::uint64_t kManagerStream = 0x4A17;
-
 /// Arrival stream from the scenario's workload pattern. A zero-rate fleet
 /// is a valid (ES2) degenerate episode: nothing ever arrives.
 std::vector<double> generate_arrivals(const EdgeScenario& sc) {
   if (!(sc.offered_ips() > 0.0)) return {};
-  WorkloadSpec spec;
-  spec.pattern = sc.pattern;
-  spec.base_ips = sc.offered_ips();
-  spec.duration_s = sc.duration_s;
-  spec.period_s = sc.deviation_period_s;
-  spec.deviation = sc.deviation;
-  spec.spike_start_s = sc.spike_start_s;
-  spec.spike_duration_s = sc.spike_duration_s;
-  spec.spike_multiplier = sc.spike_multiplier;
-  WorkloadModel model(spec, sc.seed);
+  WorkloadModel model(workload_spec_from(sc), sc.seed);
   return model.generate_arrivals();
 }
 
@@ -143,6 +128,7 @@ void visit_metric_scalars(const EdgeMetrics& m, Fn&& fn) {
   fn("seu_reloads", static_cast<double>(m.seu_reloads));
   fn("scrub_overhead_s", m.scrub_overhead_s);
   fn("post_recovery_accuracy", m.post_recovery_accuracy);
+  fn("duration_s", m.duration_s);
 }
 
 void check_metric_finite(const char* name, double value) {
@@ -208,472 +194,45 @@ std::string EdgeMetrics::csv_row() const {
   return os.str();
 }
 
+WorkloadSpec workload_spec_from(const EdgeScenario& scenario) {
+  WorkloadSpec spec;
+  spec.pattern = scenario.pattern;
+  spec.base_ips = scenario.offered_ips();
+  spec.duration_s = scenario.duration_s;
+  spec.period_s = scenario.deviation_period_s;
+  spec.deviation = scenario.deviation;
+  spec.spike_start_s = scenario.spike_start_s;
+  spec.spike_duration_s = scenario.spike_duration_s;
+  spec.spike_multiplier = scenario.spike_multiplier;
+  return spec;
+}
+
 EdgeMetrics simulate_edge(const Library& library, const RuntimePolicy& policy,
                           const EdgeScenario& scenario) {
   require_valid_edge_scenario(scenario, library);
   const std::vector<double> arrivals = generate_arrivals(scenario);
 
-  RuntimeManager manager(library, policy,
-                         derive_seed(scenario.seed, kManagerStream));
-  // Start from the most accurate eligible point (low workload assumption).
-  manager.select(0.0, 0.0);
-  FaultInjector injector(scenario.faults, scenario.seed);
-  EdgeMetrics metrics;
-  metrics.offered = static_cast<long>(arrivals.size());
-
-  // Single-server FIFO with deterministic service at the active entry's
-  // rate. server_free is the time the backlog clears; wait = server_free-t.
-  double server_free = 0.0;
+  // The per-device core lives in DeviceSim (edge/device_sim.hpp) so the
+  // fleet simulator can run N of them; this wrapper is the legacy
+  // single-device drive loop. The merge rule is load-bearing: a sampling
+  // tick runs only when strictly earlier than the next arrival (ties go to
+  // the arrival), and the fleet event queue reproduces exactly this order.
+  DeviceSim dev(library, policy, scenario);
   double next_sample = scenario.sample_period_s;
-  WorkloadMonitor monitor(
-      WorkloadMonitor::Options{1.0, scenario.reselect_threshold});
-  double latency_sum_ms = 0.0;
-  double accuracy_sum = 0.0;
-  double energy_j = 0.0;
-  // Power accounting: integrate dynamic power over busy time per entry.
-  double busy_until = 0.0;  // server_free caps busy time
-  double last_power_checkpoint = 0.0;
-  const double static_w = library.static_power_w;
-
-  auto account_energy = [&](double upto, const LibraryEntry& e) {
-    if (upto <= last_power_checkpoint) return;
-    const double interval = upto - last_power_checkpoint;
-    const double busy =
-        std::max(0.0, std::min(busy_until, upto) - last_power_checkpoint);
-    const double dyn_w = std::max(0.0, e.peak_power_w - static_w);
-    energy_j += static_w * interval + dyn_w * busy;
-    last_power_checkpoint = upto;
-  };
-
-  // Robustness bookkeeping.
-  double failing_since = -1.0;  // first failure of the open failure episode
-  double dark_until = 0.0;      // scheduled end of accelerator dark time
-  long last_served = 0;
-  long dropped_at_last_tick = 0;
-  int stagnant_ticks = 0;
-  bool has_delayed = false;     // a monitor sample in flight one period late
-  double delayed_rate = 0.0;
-
-  // Soft-error state. All of it stays at its initial value when the SEU
-  // probabilities are zero, so the zero-rate episode is byte-identical to
-  // the pre-SEU simulation.
-  const FaultSpec& faults = scenario.faults;
-  const SeuMitigation& mit = faults.mitigation;
-  int weight_upsets_active = 0;  // uncorrected weight upsets degrading TOP-1
-  int config_wrong_active = 0;   // config upsets flipping output classes
-  int exit_corrupt_active = 0;   // config upsets corrupting exit confidence
-  bool hang_active = false;      // config upset wedging the pipeline
-  std::vector<double> undetected_weight_times;  // injection times, uncaught
-  std::vector<double> undetected_config_times;
-  double next_scrub_s = mit.scrubbing ? mit.scrub_period_s : 0.0;
-  DriftDetector detector(policy.drift);
-  const LibraryEntry* drift_expect_entry = nullptr;
-  bool had_seu_recovery = false;
-  double post_recovery_acc_sum = 0.0;
-  long post_recovery_served = 0;
-
-  auto first_exit_fraction = [](const LibraryEntry& e) {
-    return e.exit_fractions.empty() ? 1.0 : e.exit_fractions.front();
-  };
-  // Returns the entry's accuracy bit-exactly when no upset is active.
-  auto effective_accuracy = [&](const LibraryEntry& e) {
-    const int corrupting =
-        weight_upsets_active + config_wrong_active + exit_corrupt_active;
-    if (corrupting == 0) return e.accuracy;
-    const double drop =
-        weight_upsets_active * faults.seu_weight_accuracy_drop +
-        (config_wrong_active + exit_corrupt_active) *
-            faults.seu_config_accuracy_drop;
-    // Floor near chance level: upsets scramble outputs, they don't
-    // anti-correlate them.
-    return std::max(e.accuracy - drop, 0.02);
-  };
-  auto effective_first_exit = [&](const LibraryEntry& e) {
-    const double base = first_exit_fraction(e);
-    if (exit_corrupt_active == 0) return base;
-    // Stuck-high exit logits inflate early acceptance.
-    return std::min(1.0, base + exit_corrupt_active * faults.seu_exit_rate_shift);
-  };
-  auto undetected_active = [&] {
-    return undetected_weight_times.size() + undetected_config_times.size();
-  };
-  // Marks every active upset as caught, charging detection latency.
-  auto detect_active = [&](double now) {
-    for (double t0 : undetected_weight_times) {
-      metrics.seu_detection_latency_s += now - t0;
-    }
-    for (double t0 : undetected_config_times) {
-      metrics.seu_detection_latency_s += now - t0;
-    }
-    metrics.seu_detected += static_cast<int>(undetected_active());
-    undetected_weight_times.clear();
-    undetected_config_times.clear();
-  };
-  // One configuration scrub pass: repairs config-memory upsets (wrong
-  // class, exit corruption, hangs) — weight BRAMs are not configuration
-  // frames, so weight upsets survive a scrub — and charges scrub dark time.
-  auto do_scrub = [&](double now, TracePoint& tp) {
-    ++metrics.seu_scrubs;
-    tp.scrubbed = true;
-    for (double t0 : undetected_config_times) {
-      metrics.seu_detection_latency_s += now - t0;
-    }
-    metrics.seu_detected += static_cast<int>(undetected_config_times.size());
-    undetected_config_times.clear();
-    config_wrong_active = 0;
-    exit_corrupt_active = 0;
-    hang_active = false;
-    const double cost_s = mit.scrub_time_ms / 1e3;
-    metrics.scrub_overhead_s += cost_s;
-    if (cost_s > 0.0) {
-      server_free = std::max(server_free, now) + cost_s;
-      dark_until = std::max(dark_until, server_free);
-      metrics.dead_time_s += cost_s;
-    }
-  };
-
-  // Resolves a manager decision: attempts the proposed reconfiguration
-  // through the fault injector, reports the outcome back, and accounts dead
-  // time and recovery latency.
-  auto apply_decision = [&](Decision& d, double now, TracePoint& tp) {
-    tp.degraded = tp.degraded || d.degraded;
-    if (!d.reconfigure) {
-      if (failing_since >= 0.0 && d.state == HealthState::kHealthy) {
-        // The full search no longer needs the failed switch: recovered.
-        metrics.recovery_latency_s += now - failing_since;
-        ++metrics.recoveries;
-        failing_since = -1.0;
-      }
-      return;
-    }
-    if (d.retry) ++metrics.reconfig_retries;
-    const ReconfigOutcome out = injector.attempt_reconfig(d.reconfig_ms);
-    if (out.slowed) ++metrics.slow_reconfigs;
-    // The accelerator is dark during the attempt, success or not: backlog
-    // waits.
-    server_free = std::max(server_free, now) + out.dead_ms / 1e3;
-    dark_until = server_free;
-    metrics.dead_time_s += out.dead_ms / 1e3;
-    if (out.success) {
-      ++metrics.reconfigurations;
-      tp.reconfigured = true;
-      manager.complete_reconfig(true, now);
-      if (failing_since >= 0.0) {
-        metrics.recovery_latency_s += now - failing_since;
-        ++metrics.recoveries;
-        failing_since = -1.0;
-      }
-      // A successful load rewrites configuration and weight memory: every
-      // active upset is gone. Ones the detection machinery never caught
-      // were repaired incidentally — they count as undetected.
-      if (weight_upsets_active + config_wrong_active + exit_corrupt_active >
-              0 ||
-          hang_active) {
-        metrics.seu_undetected += static_cast<int>(undetected_active());
-        undetected_weight_times.clear();
-        undetected_config_times.clear();
-        weight_upsets_active = 0;
-        config_wrong_active = 0;
-        exit_corrupt_active = 0;
-        hang_active = false;
-        detector.reset();
-      }
-      if (d.reload) {
-        ++metrics.seu_reloads;
-        tp.reloaded = true;
-        had_seu_recovery = true;
-        post_recovery_acc_sum = 0.0;
-        post_recovery_served = 0;
-      }
-    } else {
-      ++metrics.reconfig_failures;
-      tp.reconfig_failed = true;
-      manager.complete_reconfig(false, now);
-      if (failing_since < 0.0) failing_since = now;
-      if (policy.backoff.on_failure == FailurePolicy::kBlockRetry) {
-        // No fallback: serving stays dark until the next retry opportunity.
-        const double block_until = now + scenario.sample_period_s;
-        if (block_until > server_free) {
-          metrics.dead_time_s += block_until - server_free;
-          server_free = block_until;
-          dark_until = server_free;
-        }
-      }
-    }
-  };
-
   std::size_t ai = 0;
   while (ai < arrivals.size() || next_sample < scenario.duration_s) {
     const double next_arrival =
         ai < arrivals.size() ? arrivals[ai] : scenario.duration_s + 1.0;
     if (next_sample < next_arrival && next_sample < scenario.duration_s) {
-      // Sampling tick: measure and maybe adapt.
-      const double now = next_sample;
-      const LibraryEntry& before = manager.current();
-      account_energy(now, before);
-
-      TracePoint tp;
-      tp.time_s = now;
-
-      // Injected transient stall: the accelerator goes dark for a window.
-      if (injector.draw_stall()) {
-        ++metrics.stalls;
-        server_free = std::max(server_free, now) +
-                      scenario.faults.stall_duration_s;
-        dark_until = server_free;
-        metrics.dead_time_s += scenario.faults.stall_duration_s;
-      }
-
-      // Soft-error injection: independent streams, drawn unconditionally
-      // every tick so the upset sequence depends only on (seed, tick).
-      if (injector.draw_weight_upset()) {
-        ++metrics.seu_weight_upsets;
-        tp.seu_upset = true;
-        if (mit.ecc_weights) {
-          // SECDED on the weight BRAMs corrects it on the next read.
-          ++metrics.seu_corrected;
-          ++metrics.seu_detected;
-        } else {
-          ++weight_upsets_active;
-          undetected_weight_times.push_back(now);
-        }
-      }
-      switch (injector.draw_config_upset()) {
-        case ConfigUpset::kNone:
-          break;
-        case ConfigUpset::kWrongClass:
-          ++metrics.seu_config_upsets;
-          tp.seu_upset = true;
-          ++config_wrong_active;
-          undetected_config_times.push_back(now);
-          break;
-        case ConfigUpset::kExitCorrupt:
-          ++metrics.seu_config_upsets;
-          tp.seu_upset = true;
-          if (mit.tmr_exit_heads) {
-            // The triplicated exit heads out-vote the corrupted replica.
-            ++metrics.seu_corrected;
-            ++metrics.seu_detected;
-          } else {
-            ++exit_corrupt_active;
-            undetected_config_times.push_back(now);
-          }
-          break;
-        case ConfigUpset::kHang:
-          ++metrics.seu_config_upsets;
-          tp.seu_upset = true;
-          hang_active = true;
-          undetected_config_times.push_back(now);
-          break;
-      }
-
-      // Periodic configuration scrubbing repairs config upsets on its own
-      // schedule, whether or not anything drifted.
-      if (mit.scrubbing) {
-        while (now + 1e-12 >= next_scrub_s) {
-          do_scrub(now, tp);
-          next_scrub_s += mit.scrub_period_s;
-        }
-      }
-
-      // An active hang wedges the pipeline until a repair (scrub, reload,
-      // or the watchdog escalation below): extend the dark window tick by
-      // tick.
-      if (hang_active) {
-        const double wedge_until = now + scenario.sample_period_s;
-        if (wedge_until > server_free) {
-          metrics.dead_time_s += wedge_until - std::max(server_free, now);
-          server_free = wedge_until;
-        }
-        dark_until = std::max(dark_until, server_free);
-      }
-
-      // A monitor sample delayed at the previous tick arrives now.
-      if (has_delayed) {
-        has_delayed = false;
-        Decision d = manager.select(delayed_rate, now);
-        apply_decision(d, now, tp);
-      }
-
-      WorkloadMonitor::Sample ws = monitor.sample(scenario.sample_period_s);
-      tp.measured_ips = ws.rate_ips;
-      const bool drop = injector.draw_monitor_drop();
-      const bool delay = injector.draw_monitor_delay();
-      // A pending retry fires on its backoff/cooldown schedule even when
-      // the workload is quiet. (kScrubbing has no retry to fire; pending
-      // states never persist across ticks here.)
-      const bool must_probe = (manager.state() == HealthState::kBackoff ||
-                               manager.state() == HealthState::kDegraded) &&
-                              now + 1e-12 >= manager.next_retry_s();
-      if (drop) {
-        // The measurement never reaches the manager.
-        ++metrics.monitor_dropped;
-        ws.flagged = false;
-      } else if (delay && ws.flagged) {
-        ++metrics.monitor_delayed;
-        has_delayed = true;
-        delayed_rate = ws.rate_ips;
-        ws.flagged = false;
-      }
-      if (ws.flagged) {
-        Decision d = manager.select(ws.rate_ips, now);
-        apply_decision(d, now, tp);
-      } else if (must_probe) {
-        Decision d = manager.select(monitor.last_flagged_rate(), now);
-        apply_decision(d, now, tp);
-      }
-
-      // Accuracy/confidence drift detection: spot-checked TOP-1 agreement
-      // and first-exit acceptance vs the Library expectations of the
-      // active entry. Fires only while the manager is not already running
-      // a failure-recovery schedule (Backoff/Degraded own the problem: the
-      // scheduled retry rewrites the bitstream anyway).
-      {
-        const LibraryEntry& cur = manager.current();
-        if (&cur != drift_expect_entry) {
-          detector.expect(cur.accuracy, first_exit_fraction(cur));
-          drift_expect_entry = &cur;
-        }
-        detector.observe(effective_accuracy(cur), effective_first_exit(cur));
-        const HealthState hs = manager.state();
-        if (detector.drifted() && (hs == HealthState::kHealthy ||
-                                   hs == HealthState::kScrubbing)) {
-          ++metrics.drift_detections;
-          tp.drift_detected = true;
-          detect_active(now);
-          Decision dd = manager.report_drift(now, mit.scrubbing);
-          if (dd.scrub) {
-            do_scrub(now, tp);
-            detector.reset();
-          } else if (dd.reconfigure) {
-            apply_decision(dd, now, tp);
-            detector.reset();
-          }
-        } else if (hs == HealthState::kScrubbing && detector.window_full()) {
-          // A full clean window after the scrub: the drift is gone.
-          manager.drift_cleared();
-        }
-      }
-
-      // Watchdog: no completions for watchdog_periods despite backlog —
-      // serving is wedged (fault pile-up); force recovery. The soft reset
-      // flushes the wedged accelerator, cancels its remaining scheduled
-      // dark time, and lets the manager probe immediately.
-      if (metrics.served != last_served) {
-        last_served = metrics.served;
-        stagnant_ticks = 0;
-      } else if (server_free > now) {
-        ++stagnant_ticks;
-        if (stagnant_ticks >= scenario.watchdog_periods) {
-          ++metrics.watchdog_recoveries;
-          tp.watchdog_fired = true;
-          const double cancelled_dark = std::max(0.0, dark_until - now);
-          metrics.dead_time_s -=
-              std::min(cancelled_dark, metrics.dead_time_s);
-          dark_until = now;
-          server_free = now;
-          busy_until = std::min(busy_until, server_free);
-          manager.force_probe();
-          stagnant_ticks = 0;
-          if (hang_active) {
-            // The wedge is a config-memory hang: a soft reset cannot clear
-            // it. Escalate — scrub when deployed, else bitstream reload.
-            detect_active(now);
-            Decision dd = manager.report_drift(now, mit.scrubbing);
-            if (dd.scrub) {
-              do_scrub(now, tp);
-              detector.reset();
-            } else if (dd.reconfigure) {
-              apply_decision(dd, now, tp);
-              detector.reset();
-            }
-          }
-        }
-      }
-
-      // SLO accounting: a sampling period with any dropped request.
-      if (metrics.dropped > dropped_at_last_tick) ++metrics.slo_violations;
-      dropped_at_last_tick = metrics.dropped;
-      if (manager.state() != HealthState::kHealthy) {
-        metrics.degraded_time_s += scenario.sample_period_s;
-      }
-
-      const LibraryEntry& entry = manager.current();
-      tp.prune_rate_pct = entry.prune_rate_pct;
-      tp.conf_threshold_pct = entry.conf_threshold_pct;
-      tp.entry_accuracy = entry.accuracy;
-      tp.health = manager.state();
-      metrics.trace.push_back(tp);
+      dev.on_tick(next_sample);
       next_sample += scenario.sample_period_s;
       continue;
     }
     if (ai >= arrivals.size()) break;
-
-    const double t = arrivals[ai++];
-    monitor.on_arrival();
-    if (hang_active) {
-      // The pipeline is wedged on a config-memory hang: nothing completes
-      // until a scrub or reload repairs it (the watchdog sees the flat
-      // served count and escalates).
-      ++metrics.dropped;
-      continue;
-    }
-    const LibraryEntry& entry = manager.current();
-    const double service_s = 1.0 / std::max(entry.ips, 1e-9);
-    const double wait_s = std::max(0.0, server_free - t);
-    const double backlog = wait_s / service_s;
-    if (backlog > scenario.queue_capacity) {
-      ++metrics.dropped;
-      continue;
-    }
-    ++metrics.served;
-    const double eff_acc = effective_accuracy(entry);
-    accuracy_sum += eff_acc;
-    if (undetected_active() > 0 &&
-        weight_upsets_active + config_wrong_active + exit_corrupt_active > 0) {
-      // Served while an uncaught corrupting upset is active: the user gets
-      // a possibly-wrong answer with no warning.
-      ++metrics.silent_corruptions;
-    }
-    if (had_seu_recovery) {
-      post_recovery_acc_sum += eff_acc;
-      ++post_recovery_served;
-    }
-    latency_sum_ms += wait_s * 1e3 + entry.latency_ms;
-    server_free = std::max(server_free, t) + service_s;
-    busy_until = server_free;
+    dev.on_arrival(arrivals[ai++]);
   }
-  account_energy(scenario.duration_s, manager.current());
-
-  // Upsets still uncaught at episode end never got detected.
-  metrics.seu_undetected += static_cast<int>(undetected_active());
-  metrics.post_recovery_accuracy =
-      post_recovery_served > 0 ? post_recovery_acc_sum / post_recovery_served
-                               : 0.0;
-
-  metrics.inference_loss_pct =
-      metrics.offered > 0
-          ? 100.0 * static_cast<double>(metrics.dropped) / metrics.offered
-          : 0.0;
-  metrics.accuracy =
-      metrics.served > 0 ? accuracy_sum / metrics.served : 0.0;
-  metrics.avg_latency_ms =
-      metrics.served > 0 ? latency_sum_ms / metrics.served : 0.0;
-  metrics.energy_j = energy_j;
-  metrics.avg_power_w =
-      scenario.duration_s > 0.0 ? energy_j / scenario.duration_s : 0.0;
-  metrics.energy_per_inf_j =
-      metrics.served > 0 ? energy_j / metrics.served : 0.0;
-  metrics.edp = metrics.energy_per_inf_j * (metrics.avg_latency_ms / 1e3);
-  const double served_fraction =
-      metrics.offered > 0
-          ? static_cast<double>(metrics.served) / metrics.offered
-          : 0.0;
-  metrics.qoe = metrics.accuracy * served_fraction;
-  metrics.availability_pct =
-      100.0 *
-      std::max(0.0, 1.0 - metrics.dead_time_s / scenario.duration_s);
-  return metrics;
+  dev.finalize(scenario.duration_s);
+  return std::move(dev.metrics());
 }
 
 EdgeMetrics simulate_edge_runs(const Library& library,
@@ -681,7 +240,12 @@ EdgeMetrics simulate_edge_runs(const Library& library,
                                const EdgeScenario& scenario, int runs) {
   ADAPEX_CHECK(runs > 0, "need at least one run");
   EdgeMetrics total;
-  total.availability_pct = 0.0;  // accumulator; the default is 100
+  // Pooled accumulators: per-request ratios are reweighted by what each
+  // episode actually served, time ratios by what it actually simulated —
+  // an unweighted mean over-counts short or quiet episodes.
+  double latency_weighted_ms = 0.0;
+  double accuracy_weighted = 0.0;
+  double post_recovery_weighted = 0.0;
   for (int r = 0; r < runs; ++r) {
     EdgeScenario sc = scenario;
     sc.seed = scenario.seed + static_cast<std::uint64_t>(r);
@@ -690,14 +254,11 @@ EdgeMetrics simulate_edge_runs(const Library& library,
     total.offered += m.offered;
     total.served += m.served;
     total.dropped += m.dropped;
-    total.inference_loss_pct += m.inference_loss_pct;
-    total.accuracy += m.accuracy;
-    total.avg_latency_ms += m.avg_latency_ms;
-    total.avg_power_w += m.avg_power_w;
+    accuracy_weighted += m.accuracy * static_cast<double>(m.served);
+    latency_weighted_ms += m.avg_latency_ms * static_cast<double>(m.served);
+    post_recovery_weighted +=
+        m.post_recovery_accuracy * static_cast<double>(m.served);
     total.energy_j += m.energy_j;
-    total.energy_per_inf_j += m.energy_per_inf_j;
-    total.edp += m.edp;
-    total.qoe += m.qoe;
     total.reconfigurations += m.reconfigurations;
     total.reconfig_failures += m.reconfig_failures;
     total.reconfig_retries += m.reconfig_retries;
@@ -710,7 +271,6 @@ EdgeMetrics simulate_edge_runs(const Library& library,
     total.recovery_latency_s += m.recovery_latency_s;
     total.degraded_time_s += m.degraded_time_s;
     total.dead_time_s += m.dead_time_s;
-    total.availability_pct += m.availability_pct;
     total.slo_violations += m.slo_violations;
     total.seu_weight_upsets += m.seu_weight_upsets;
     total.seu_config_upsets += m.seu_config_upsets;
@@ -723,26 +283,31 @@ EdgeMetrics simulate_edge_runs(const Library& library,
     total.seu_scrubs += m.seu_scrubs;
     total.seu_reloads += m.seu_reloads;
     total.scrub_overhead_s += m.scrub_overhead_s;
-    total.post_recovery_accuracy += m.post_recovery_accuracy;
+    total.duration_s += m.duration_s;
   }
-  const double inv = 1.0 / runs;
-  total.inference_loss_pct *= inv;
-  total.accuracy *= inv;
-  total.avg_latency_ms *= inv;
-  total.avg_power_w *= inv;
-  total.energy_j *= inv;
-  total.energy_per_inf_j *= inv;
-  total.edp *= inv;
-  total.qoe *= inv;
-  // Per-episode averages for the time-based robustness metrics; the event
-  // counters stay totals (recovery_latency_s / recoveries is still the mean
-  // recovery latency, and seu_detection_latency_s / seu_detected the mean
-  // detection latency).
-  total.degraded_time_s *= inv;
-  total.dead_time_s *= inv;
-  total.availability_pct *= inv;
-  total.scrub_overhead_s *= inv;
-  total.post_recovery_accuracy *= inv;
+  total.inference_loss_pct =
+      total.offered > 0
+          ? 100.0 * static_cast<double>(total.dropped) / total.offered
+          : 0.0;
+  total.accuracy = total.served > 0 ? accuracy_weighted / total.served : 0.0;
+  total.avg_latency_ms =
+      total.served > 0 ? latency_weighted_ms / total.served : 0.0;
+  total.post_recovery_accuracy =
+      total.served > 0 ? post_recovery_weighted / total.served : 0.0;
+  total.avg_power_w =
+      total.duration_s > 0.0 ? total.energy_j / total.duration_s : 0.0;
+  total.energy_per_inf_j =
+      total.served > 0 ? total.energy_j / total.served : 0.0;
+  total.edp = total.energy_per_inf_j * (total.avg_latency_ms / 1e3);
+  const double served_fraction =
+      total.offered > 0
+          ? static_cast<double>(total.served) / total.offered
+          : 0.0;
+  total.qoe = total.accuracy * served_fraction;
+  total.availability_pct =
+      total.duration_s > 0.0
+          ? 100.0 * std::max(0.0, 1.0 - total.dead_time_s / total.duration_s)
+          : 100.0;
   return total;
 }
 

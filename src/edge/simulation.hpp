@@ -167,6 +167,10 @@ struct EdgeMetrics {
   double scrub_overhead_s = 0.0;        ///< Dark time spent scrubbing.
   double post_recovery_accuracy = 0.0;  ///< Mean served accuracy after the
                                         ///< last SEU recovery (0 when none).
+  /// Simulated episode length backing the time-based ratios (availability,
+  /// average power). simulate_edge_runs sums it across episodes so pooled
+  /// ratios stay duration-weighted.
+  double duration_s = 0.0;
 
   std::vector<TracePoint> trace;
 
@@ -179,12 +183,24 @@ struct EdgeMetrics {
   std::string csv_row() const;
 };
 
+/// The single-tenant WorkloadSpec simulate_edge derives from a scenario
+/// (the scenario's full offered rate and pattern). Exposed so the fleet
+/// simulator (fleet_from_edge) can build the byte-identical arrival stream.
+WorkloadSpec workload_spec_from(const EdgeScenario& scenario);
+
 /// Runs one episode with the given policy over the library.
 EdgeMetrics simulate_edge(const Library& library, const RuntimePolicy& policy,
                           const EdgeScenario& scenario);
 
-/// Averages `runs` episodes (seeds seed, seed+1, ...). Traces are kept only
-/// for the first episode.
+/// Aggregates `runs` episodes (seeds seed, seed+1, ...) by pooling rather
+/// than averaging per-episode ratios: counters, energy, times, and
+/// duration_s are summed; per-request ratios (loss, accuracy, latency, EDP,
+/// QoE, energy/inference) are recomputed over the pooled requests
+/// (served-weighted), and the time-based ratios (average power,
+/// availability) over the pooled duration — so episodes of different
+/// lengths or traffic volumes are weighted by what they actually served
+/// and simulated instead of counting equally. Traces are kept only for the
+/// first episode.
 EdgeMetrics simulate_edge_runs(const Library& library,
                                const RuntimePolicy& policy,
                                const EdgeScenario& scenario, int runs);

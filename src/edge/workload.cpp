@@ -7,6 +7,45 @@
 
 namespace adapex {
 
+namespace {
+
+// Stream identifier for per-tenant arrival streams (derive_seed).
+constexpr std::uint64_t kTenantStream = 0x7E2A;
+
+}  // namespace
+
+std::uint64_t tenant_stream_seed(std::uint64_t fleet_seed, std::size_t index,
+                                 std::size_t tenant_count) {
+  ADAPEX_CHECK(index < tenant_count, "tenant index out of range");
+  // The identity mapping for a lone tenant keeps the fleet's arrival stream
+  // byte-identical to the single-device WorkloadModel stream.
+  if (tenant_count == 1) return fleet_seed;
+  return derive_seed(fleet_seed, kTenantStream, index);
+}
+
+std::vector<FleetRequest> generate_fleet_arrivals(
+    const std::vector<WorkloadSpec>& tenants, std::uint64_t fleet_seed) {
+  std::vector<FleetRequest> merged;
+  for (std::size_t k = 0; k < tenants.size(); ++k) {
+    // A zero-rate tenant is a valid degenerate stream: nothing arrives
+    // (mirrors simulate_edge's empty-fleet early return).
+    if (!(tenants[k].base_ips > 0.0)) continue;
+    WorkloadModel model(tenants[k],
+                        tenant_stream_seed(fleet_seed, k, tenants.size()));
+    for (double t : model.generate_arrivals()) {
+      merged.push_back(FleetRequest{t, static_cast<int>(k)});
+    }
+  }
+  // Each per-tenant stream is strictly increasing, so (time, tenant) is a
+  // deterministic total order.
+  std::sort(merged.begin(), merged.end(),
+            [](const FleetRequest& a, const FleetRequest& b) {
+              if (a.time_s != b.time_s) return a.time_s < b.time_s;
+              return a.tenant < b.tenant;
+            });
+  return merged;
+}
+
 const char* to_string(WorkloadPattern p) {
   switch (p) {
     case WorkloadPattern::kRandomDeviation: return "random_deviation";

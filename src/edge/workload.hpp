@@ -41,6 +41,27 @@ struct WorkloadSpec {
   std::vector<double> trace;
 };
 
+/// One request in a mixed-tenant fleet arrival trace (edge/fleet.hpp).
+struct FleetRequest {
+  double time_s = 0.0;
+  int tenant = 0;  ///< Index into the tenant list that generated it.
+};
+
+/// Seed of tenant `index`'s arrival stream in an `tenant_count`-tenant
+/// fleet. A single-tenant fleet consumes `fleet_seed` directly — its stream
+/// is byte-identical to WorkloadModel(spec, fleet_seed), which is what makes
+/// a size-1 fleet reproduce simulate_edge — while multi-tenant fleets draw
+/// from independent splitmix64-derived streams, one per tenant.
+std::uint64_t tenant_stream_seed(std::uint64_t fleet_seed, std::size_t index,
+                                 std::size_t tenant_count);
+
+/// Deterministic mixed-tenant arrival trace: one Poisson stream per tenant
+/// (seeded via tenant_stream_seed; zero-rate tenants contribute nothing),
+/// merged into one nondecreasing timeline with (time, tenant-index) as the
+/// stable total order.
+std::vector<FleetRequest> generate_fleet_arrivals(
+    const std::vector<WorkloadSpec>& tenants, std::uint64_t fleet_seed);
+
 /// Piecewise-constant rate at time t (uses `rng` for the random pattern;
 /// call sequentially per period to stay deterministic).
 class WorkloadModel {

@@ -1,5 +1,7 @@
 #include "runtime/faults.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 
 namespace adapex {
@@ -120,13 +122,22 @@ FaultInjector::FaultInjector(const FaultSpec& spec, std::uint64_t episode_seed)
   require_valid_fault_spec(spec);
 }
 
+void FaultInjector::set_rate_scale(double transient, double seu) {
+  ADAPEX_CHECK(transient >= 0.0 && seu >= 0.0,
+               "fault rate scales must be non-negative");
+  transient_scale_ = transient;
+  seu_scale_ = seu;
+}
+
 ReconfigOutcome FaultInjector::attempt_reconfig(double nominal_ms) {
   ReconfigOutcome out;
   out.dead_ms = nominal_ms;
   // Exactly two draws per attempt, whatever the probabilities: attempt k's
   // failure decision depends only on (seed, k), never on which other knobs
-  // are zero.
-  const bool failed = reconfig_rng_.uniform() < spec_.reconfig_fail_prob;
+  // are zero. min(1, p * scale) is exact at scale 1 (and for any p <= 1),
+  // so scaling never perturbs the draw-to-outcome mapping at baseline.
+  const bool failed = reconfig_rng_.uniform() <
+                      std::min(1.0, spec_.reconfig_fail_prob * transient_scale_);
   const bool slowed = reconfig_rng_.uniform() < spec_.reconfig_slow_prob;
   out.success = !failed;
   out.slowed = slowed;
@@ -135,7 +146,8 @@ ReconfigOutcome FaultInjector::attempt_reconfig(double nominal_ms) {
 }
 
 bool FaultInjector::draw_stall() {
-  return stall_rng_.uniform() < spec_.stall_prob;
+  return stall_rng_.uniform() <
+         std::min(1.0, spec_.stall_prob * transient_scale_);
 }
 
 bool FaultInjector::draw_monitor_drop() {
@@ -147,14 +159,16 @@ bool FaultInjector::draw_monitor_delay() {
 }
 
 bool FaultInjector::draw_weight_upset() {
-  return weight_rng_.uniform() < spec_.seu_weight_prob;
+  return weight_rng_.uniform() <
+         std::min(1.0, spec_.seu_weight_prob * seu_scale_);
 }
 
 ConfigUpset FaultInjector::draw_config_upset() {
   // Exactly two draws per period (occurrence, then manifestation), both
   // unconditional: period k's upset depends only on (seed, k), and changing
   // the manifestation split cannot shift when upsets land.
-  const bool hit = config_rng_.uniform() < spec_.seu_config_prob;
+  const bool hit = config_rng_.uniform() <
+                   std::min(1.0, spec_.seu_config_prob * seu_scale_);
   const double kind = config_rng_.uniform();
   if (!hit) return ConfigUpset::kNone;
   if (kind < spec_.seu_hang_frac) return ConfigUpset::kHang;

@@ -131,10 +131,26 @@ class FaultInjector {
   /// Does a config-memory upset land this period, and how does it manifest?
   ConfigUpset draw_config_upset();
 
+  /// Correlated-failure scaling (fleet failure domains, edge/fleet.hpp):
+  /// multiplies the transient hardware rates (reconfig_fail_prob,
+  /// stall_prob) by `transient` and the SEU occurrence rates
+  /// (seu_weight_prob, seu_config_prob) by `seu`, clamped to probability 1.
+  /// Every draw still happens, so the underlying uniform sequences are
+  /// unchanged: scaling back to 1.0 restores the exact unscaled episode
+  /// from that point on, and an injector that is never scaled (or scaled by
+  /// exactly 1.0) is byte-identical to the pre-scaling behaviour
+  /// (p * 1.0 == p). Monitor faults and severity knobs are not scaled.
+  void set_rate_scale(double transient, double seu);
+
+  double transient_scale() const { return transient_scale_; }
+  double seu_scale() const { return seu_scale_; }
+
   const FaultSpec& spec() const { return spec_; }
 
  private:
   FaultSpec spec_;
+  double transient_scale_ = 1.0;
+  double seu_scale_ = 1.0;
   Rng reconfig_rng_;
   Rng stall_rng_;
   Rng drop_rng_;

@@ -260,6 +260,7 @@ Decision RuntimeManager::select(double workload_ips, double now_s) {
     // Optimistic commit: complete_reconfig(false) rolls back to the loaded
     // bitstream; success (or silence) confirms it.
     current_index_ = best;
+    pre_pending_state_ = state_;
     state_ = HealthState::kReconfigPending;
   } else {
     current_index_ = best;
@@ -280,6 +281,7 @@ Decision RuntimeManager::select(double workload_ips, double now_s) {
                 .reconfig_ms;
         d.retry = consecutive_failures_ > 0;
         loaded_index_ = current_index_;
+        pre_pending_state_ = state_;
         state_ = HealthState::kReloadPending;
       } else {
         // The full search no longer wants another accelerator: the failed
@@ -335,6 +337,17 @@ void RuntimeManager::complete_reconfig(bool success, double now_s) {
 
 void RuntimeManager::force_probe() { next_retry_s_ = 0.0; }
 
+void RuntimeManager::cancel_reconfig() {
+  ADAPEX_CHECK(state_ == HealthState::kReconfigPending ||
+                   state_ == HealthState::kReloadPending,
+               "cancel_reconfig without a pending reconfiguration");
+  // The load was never attempted: undo the optimistic commit and return to
+  // the pre-proposal state. Failure counters, the retry schedule, and any
+  // owed reload are untouched — this is a veto, not an outcome.
+  current_index_ = loaded_index_;
+  state_ = pre_pending_state_;
+}
+
 Decision RuntimeManager::report_drift(double now_s, bool scrub_available) {
   (void)now_s;  // kept for symmetry with select(); retries are time-gated
                 // only once a reload attempt has actually failed.
@@ -383,6 +396,7 @@ Decision RuntimeManager::report_drift(double now_s, bool scrub_available) {
   d.retry = consecutive_failures_ > 0;
   loaded_index_ = current_index_;
   reload_needed_ = true;
+  pre_pending_state_ = state_;
   state_ = HealthState::kReloadPending;
   d.state = state_;
   return d;

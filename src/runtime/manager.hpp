@@ -170,6 +170,15 @@ class RuntimeManager {
   /// (the edge watchdog's recovery hammer).
   void force_probe();
 
+  /// Rolls back a reconfiguration proposed by the last select() /
+  /// report_drift() that was never attempted — e.g. vetoed by a fleet
+  /// orchestrator staggering loads. The active entry returns to the loaded
+  /// bitstream and the health state to its pre-proposal value. Unlike
+  /// complete_reconfig(false), no failure is recorded and no backoff
+  /// engages: the proposal simply never happened, and a later select() may
+  /// re-propose it.
+  void cancel_reconfig();
+
   /// Reports accuracy/confidence drift on the served stream. When healthy
   /// and `scrub_available`, orders an on-demand configuration scrub
   /// (cheapest repair first); when drift persists through a scrub — or no
@@ -210,6 +219,8 @@ class RuntimeManager {
   int current_index_ = -1;
   int loaded_index_ = -1;  ///< Entry on the loaded bitstream during pending.
   HealthState state_ = HealthState::kHealthy;
+  /// State to restore if a pending proposal is cancelled unattempted.
+  HealthState pre_pending_state_ = HealthState::kHealthy;
   int consecutive_failures_ = 0;
   double next_retry_s_ = 0.0;
   /// A drift-triggered reload is owed: kept across failed attempts (and the
