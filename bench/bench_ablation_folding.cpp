@@ -175,7 +175,7 @@ int main(int argc, char** argv) {
     root["zero_exit_identical"] = zero_exit_identical;
     root["points"] = std::move(points);
     const std::string path = results_dir() + "/ablation_folding_reach.json";
-    write_file(path, root.dump(2) + "\n");
+    atomic_write_file(path, root.dump(2) + "\n");
     std::cout << "[json] " << path << "\n";
   }
 

@@ -212,7 +212,7 @@ int main(int argc, char** argv) {
 
   emit(table, "fleet");
   const std::string json_path = results_dir() + "/fleet.json";
-  write_file(json_path, json.dump(1));
+  atomic_write_file(json_path, json.dump(1));
   std::cout << "[json] " << json_path << "\n";
   const bool ok = invariant_holds && unstaggered_violates;
   std::cout << (ok ? "OK: staggered runs held the 70% capacity floor at every "

@@ -150,7 +150,7 @@ int main(int argc, char** argv) {
 
   emit(table, "robustness");
   const std::string json_path = results_dir() + "/robustness.json";
-  write_file(json_path, json.dump(1));
+  atomic_write_file(json_path, json.dump(1));
   std::cout << "[json] " << json_path << "\n";
   std::cout << (gap_holds
                     ? "OK: graceful degradation beats block-retry at every "

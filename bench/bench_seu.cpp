@@ -170,7 +170,7 @@ int main(int argc, char** argv) {
 
   emit(table, "seu");
   const std::string json_path = results_dir() + "/seu.json";
-  write_file(json_path, json.dump(1));
+  atomic_write_file(json_path, json.dump(1));
   std::cout << "[json] " << json_path << "\n";
   const bool ok = monotone && full_beats_none_somewhere;
   std::cout << (ok ? "OK: silent corruptions fall monotonically down the "

@@ -14,6 +14,7 @@
 #include <iostream>
 #include <string>
 
+#include "common/integrity.hpp"
 #include "common/table.hpp"
 #include "core/adapex.hpp"
 
@@ -50,11 +51,12 @@ inline void print_header(const std::string& id, const std::string& what) {
                " scale — see EXPERIMENTS.md)\n\n";
 }
 
-/// Writes a table to results/<name>.csv and prints it.
+/// Writes a table to results/<name>.csv (atomic publish: a reader — or a
+/// bench killed mid-write — never leaves a torn CSV behind) and prints it.
 inline void emit(const TextTable& table, const std::string& name) {
   table.print(std::cout);
   const std::string path = results_dir() + "/" + name + ".csv";
-  write_file(path, table.csv());
+  atomic_write_file(path, table.csv());
   std::cout << "[csv] " << path << "\n";
 }
 

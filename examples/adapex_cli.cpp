@@ -1,8 +1,15 @@
 // adapex_cli — command-line front end to the AdaPEx flow.
 //
 //   adapex_cli generate [--dataset cifar|gtsrb] [--out DIR]
+//       [--journal DIR] [--retries N] [--partial-policy fail|emit_partial]
 //       Run the design-time flow at the ADAPEX_SCALE preset and cache the
-//       library.
+//       library. With --journal every finished design point is checkpointed
+//       under DIR and an interrupted run resumes byte-identically; --retries
+//       re-attempts failing points on fresh seed streams, and
+//       --partial-policy emit_partial ships a library with still-failing
+//       points explicitly missing instead of failing the run. A generation
+//       report (computed/replayed/retried/quarantined, checkpoint overhead)
+//       is printed after any journaled or retried run.
 //   adapex_cli inspect LIBRARY.json [--top N]
 //       Summarize a library: reference accuracy, accelerators, and the
 //       Pareto-best operating points.
@@ -28,6 +35,8 @@ int usage() {
   std::cerr <<
       "usage:\n"
       "  adapex_cli generate [--dataset cifar|gtsrb] [--out DIR]\n"
+      "             [--journal DIR] [--retries N]\n"
+      "             [--partial-policy fail|emit_partial]\n"
       "  adapex_cli inspect LIBRARY.json [--top N]\n"
       "  adapex_cli serve LIBRARY.json [--policy adapex|pr|ct|finn]\n"
       "             [--ratio R] [--runs N] [--threshold T]\n";
@@ -57,12 +66,37 @@ int cmd_generate(int argc, char** argv) {
   spec.on_progress = [](const std::string& s) {
     std::cerr << "  " << s << "\n";
   };
+  if (flags.count("journal")) spec.journal_dir = flags["journal"];
+  if (flags.count("retries")) {
+    spec.max_point_retries = std::stoi(flags["retries"]);
+  }
+  if (flags.count("partial-policy")) {
+    const std::string& p = flags["partial-policy"];
+    if (p == "fail") {
+      spec.partial_policy = PartialPolicy::kFail;
+    } else if (p == "emit_partial") {
+      spec.partial_policy = PartialPolicy::kEmitPartial;
+    } else {
+      throw ConfigError("unknown partial policy: " + p +
+                        " (expected fail|emit_partial)");
+    }
+  }
+  GenerationReport report;
+  spec.report = &report;
   Library lib = generate_or_load_library(spec, out);
   std::cout << "library ready: " << lib.entries.size() << " entries, "
             << lib.accelerators.size() << " accelerators, reference accuracy "
-            << lib.reference_accuracy << "\n"
-            << "cached under " << out << "/library_"
-            << library_cache_key(spec) << ".json\n";
+            << lib.reference_accuracy << "\n";
+  if (report.partial) {
+    std::cout << "PARTIAL library (not cached): inspect the report below\n";
+  } else {
+    std::cout << "cached under " << out << "/library_"
+              << library_cache_key(spec) << ".json\n";
+  }
+  // A cache hit never runs generation, so the report stays empty.
+  if (!report.points.empty()) {
+    std::cout << "generation report: " << report.summary() << "\n";
+  }
   return 0;
 }
 

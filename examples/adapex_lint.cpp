@@ -8,6 +8,10 @@
 //               [--fractions F0,F1,...] [--verify] [--json]
 //               [--emit-folding PATH]
 //   adapex_lint --fleet-scenario SCENARIO.json [--min-severity ...] [--json]
+//   adapex_lint --gen-spec [--journal-dir DIR] [--max-point-retries N]
+//               [--partial-policy fail|emit_partial]
+//               [--checksum-mode fnv1a64|crc32] [--verify-dataflow]
+//               [--min-severity ...] [--json]
 //
 // Lints a (model, folding, accelerator-config) design point and prints the
 // structured findings as a table (rule, severity, site, message, fix hint).
@@ -27,6 +31,12 @@
 // is parsed as a FleetScenario and checked against FS1-FS8 (plus the edge
 // scenario and fault-spec rules on its base), skipping the model path
 // entirely. The same --json / --min-severity / exit-code contract applies.
+//
+// --gen-spec switches to the crash-safety rules RG1-RG5
+// (library/journal.hpp): the journal/retry/partial/checksum knobs of a
+// library-generation spec are validated exactly as generate_library() would
+// before spending any training time — CI can gate a sweep's configuration
+// without running it.
 //
 // --json replaces the table with a machine-readable document on stdout
 // ({"errors", "warnings", "infos", "diagnostics": [...], ...}) for CI
@@ -48,6 +58,7 @@
 #include "analysis/dataflow.hpp"
 #include "analysis/lint.hpp"
 #include "edge/fleet.hpp"
+#include "library/generator.hpp"
 #include "model/cnv.hpp"
 #include "model/serialize.hpp"
 
@@ -67,6 +78,10 @@ int usage() {
       "              [--emit-folding PATH]\n"
       "  adapex_lint --fleet-scenario SCENARIO.json [--min-severity ...]"
       " [--json]\n"
+      "  adapex_lint --gen-spec [--journal-dir DIR] [--max-point-retries N]\n"
+      "              [--partial-policy fail|emit_partial]\n"
+      "              [--checksum-mode fnv1a64|crc32] [--verify-dataflow]\n"
+      "              [--min-severity ...] [--json]\n"
       "devices: zcu104 (default) | ultra96 | zcu102\n"
       "exit codes: 0 clean, 3 errors found, 1 usage, 2 runtime failure\n";
   return 1;
@@ -114,7 +129,8 @@ int emit(const analysis::LintReport& report, analysis::Severity min_severity,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::set<std::string> boolean_flags = {"json", "verify"};
+  const std::set<std::string> boolean_flags = {"json", "verify", "gen-spec",
+                                               "verify-dataflow"};
   std::string model_path;
   std::map<std::string, std::string> flags;
   for (int i = 1; i < argc; ++i) {
@@ -151,6 +167,42 @@ int main(int argc, char** argv) {
         std::cerr << "(" << scenario.devices.size() << " devices, "
                   << scenario.tenants.size() << " tenants, "
                   << scenario.fleet_faults.domains.size() << " domains)\n";
+      }
+      return code;
+    }
+
+    if (flags.count("gen-spec")) {
+      // Crash-safety mode: validate a generation spec's robustness knobs
+      // against RG1-RG5 without building a model or training anything.
+      LibraryGenSpec spec;
+      if (flags.count("journal-dir")) spec.journal_dir = flags["journal-dir"];
+      if (flags.count("max-point-retries")) {
+        spec.max_point_retries = std::stoi(flags["max-point-retries"]);
+      }
+      if (flags.count("partial-policy")) {
+        const std::string& p = flags["partial-policy"];
+        if (p == "fail") {
+          spec.partial_policy = PartialPolicy::kFail;
+        } else if (p == "emit_partial") {
+          spec.partial_policy = PartialPolicy::kEmitPartial;
+        } else {
+          throw ConfigError("unknown partial policy: " + p +
+                            " (expected fail|emit_partial)");
+        }
+      }
+      if (flags.count("checksum-mode")) {
+        spec.checksum_mode = flags["checksum-mode"];
+      }
+      spec.verify_dataflow = flags.count("verify-dataflow") > 0;
+      const analysis::LintReport report = lint_gen_spec(spec);
+      const int code = emit(report, min_severity_early, json, "", Json());
+      if (!json) {
+        std::cerr << "(journal " << (spec.journal_dir.empty()
+                                         ? std::string("disabled")
+                                         : spec.journal_dir)
+                  << ", retries " << spec.max_point_retries << ", policy "
+                  << to_string(spec.partial_policy) << ", checksum "
+                  << spec.checksum_mode << ")\n";
       }
       return code;
     }

@@ -41,6 +41,18 @@
 //   R14 gated-throughput accounting: claimed ips/latency vs. the
 //       reach-weighted module model.
 //
+// Further rule families live next to their subsystems and share this
+// diagnostics infrastructure: the fault-spec rules (runtime/faults.hpp),
+// the edge-scenario and fleet-serving rules FS1-FS8 (edge/fleet.hpp), and
+// the crash-safety generation-spec rules RG1-RG5 (library/journal.hpp):
+//
+//   RG1 journal_dir must be a creatable, writable directory (probed).
+//   RG2 max_point_retries bounds: < 0 is an error, > 8 warns.
+//   RG3 PartialPolicy::kEmitPartial under verify_dataflow warns — verifier
+//       rejections would be quarantined instead of failing the run.
+//   RG4 checksum_mode must be fnv1a64 | crc32.
+//   RG5 relative journal_dir warns (resume depends on the CWD).
+//
 // compile_accelerator() and generate_library() run the design-level rules as
 // a precondition and reject illegal design points with a single aggregated
 // ConfigError listing every violation (replacing the old first-check-wins

@@ -1,0 +1,144 @@
+#include "common/integrity.hpp"
+
+#include <unistd.h>
+
+#include <array>
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+
+#include "common/json.hpp"
+
+namespace adapex {
+
+namespace {
+
+constexpr const char* kSealedFormat = "adapex-sealed-v1";
+
+std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+std::string to_hex(std::uint64_t v, int digits) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%0*llx", digits,
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(const std::string& bytes) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::uint32_t crc32(const std::string& bytes) {
+  static const std::array<std::uint32_t, 256> table = make_crc32_table();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (char ch : bytes) {
+    c = table[(c ^ static_cast<unsigned char>(ch)) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+bool checksum_mode_valid(const std::string& mode) {
+  return mode == "fnv1a64" || mode == "crc32";
+}
+
+std::string content_checksum(const std::string& bytes,
+                             const std::string& mode) {
+  if (mode == "fnv1a64") return "fnv1a64:" + to_hex(fnv1a64(bytes), 16);
+  if (mode == "crc32") return "crc32:" + to_hex(crc32(bytes), 8);
+  throw ConfigError("unknown checksum mode: '" + mode +
+                    "' (expected fnv1a64|crc32)");
+}
+
+bool checksum_matches(const std::string& bytes, const std::string& tag) {
+  const std::size_t colon = tag.find(':');
+  if (colon == std::string::npos) return false;
+  const std::string mode = tag.substr(0, colon);
+  if (!checksum_mode_valid(mode)) return false;
+  return content_checksum(bytes, mode) == tag;
+}
+
+void atomic_write_file(const std::string& path, const std::string& contents) {
+  const std::string tmp =
+      path + "." + std::to_string(::getpid()) + ".tmp";
+  try {
+    write_file(tmp, contents);
+    std::filesystem::rename(tmp, path);
+  } catch (...) {
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
+    throw;
+  }
+}
+
+std::string quarantine_file(const std::string& path) {
+  const std::string target = path + ".corrupt";
+  std::error_code ec;
+  std::filesystem::rename(path, target, ec);
+  if (ec && std::filesystem::exists(path)) {
+    throw Error("cannot quarantine " + path + " to " + target + ": " +
+                ec.message());
+  }
+  return target;
+}
+
+std::string seal_document(const std::string& kind, const Json& payload,
+                          const std::string& checksum_mode) {
+  Json envelope = Json::object();
+  envelope["format"] = kSealedFormat;
+  envelope["kind"] = kind;
+  envelope["checksum"] = content_checksum(payload.dump(1), checksum_mode);
+  envelope["payload"] = payload;
+  return envelope.dump(1);
+}
+
+bool is_sealed_document(const Json& doc) {
+  return doc.is_object() && doc.contains("format") &&
+         doc.at("format").is_string() &&
+         doc.at("format").as_string() == kSealedFormat &&
+         doc.contains("payload");
+}
+
+Json open_document(const Json& doc, const std::string& kind) {
+  if (!is_sealed_document(doc)) {
+    throw IntegrityError("not a sealed adapex document (format '" +
+                         std::string(kSealedFormat) + "' missing)");
+  }
+  if (!doc.contains("kind") || doc.at("kind").as_string() != kind) {
+    throw IntegrityError(
+        "sealed document kind mismatch: expected '" + kind + "', got '" +
+        (doc.contains("kind") ? doc.at("kind").as_string() : "<none>") + "'");
+  }
+  if (!doc.contains("checksum")) {
+    throw IntegrityError("sealed document is missing its checksum");
+  }
+  const Json& payload = doc.at("payload");
+  const std::string tag = doc.at("checksum").as_string();
+  if (!checksum_matches(payload.dump(1), tag)) {
+    throw IntegrityError("content checksum mismatch (stored " + tag +
+                         "): the artifact is corrupt");
+  }
+  return payload;
+}
+
+Json open_document_text(const std::string& text, const std::string& kind) {
+  return open_document(Json::parse(text), kind);
+}
+
+}  // namespace adapex

@@ -13,6 +13,16 @@
 // generator does — see library/generator.hpp) must make every task
 // self-contained (own RNG stream, own model clone) and write results into
 // pre-assigned slots, never into shared accumulators.
+//
+// Exception contract: a task that throws no longer escapes into the worker
+// thread (which would std::terminate the process). The first exception is
+// captured, every task still queued at that point is drained without
+// running (the sweep is already doomed; finishing it would only delay the
+// report), and the next wait() rethrows the captured exception. After the
+// rethrow the pool is reusable: submit()/wait() cycles behave as if freshly
+// constructed. Callers that need per-task failure isolation (retry,
+// quarantine) must catch inside the task — the library generator does —
+// and then this capture path is only a backstop.
 
 #pragma once
 
@@ -75,10 +85,19 @@ class ThreadPool {
     work_available_.notify_one();
   }
 
-  /// Blocks until every submitted task has finished running.
+  /// Blocks until every submitted task has finished running (or been
+  /// drained after a failure). If any task threw, rethrows the *first*
+  /// captured exception and resets the failure state, leaving the pool
+  /// reusable for subsequent submit()/wait() rounds.
   void wait() {
     std::unique_lock<std::mutex> lock(sleep_mutex_);
     all_done_.wait(lock, [this] { return pending_ == 0; });
+    if (first_error_) {
+      std::exception_ptr error = first_error_;
+      first_error_ = nullptr;
+      failed_.store(false, std::memory_order_release);
+      std::rethrow_exception(error);
+    }
   }
 
   /// Thread count from `ADAPEX_THREADS` (>= 1), defaulting to
@@ -134,7 +153,21 @@ class ThreadPool {
     for (;;) {
       std::function<void()> task;
       if (try_pop(self, task)) {
-        task();
+        // Once a task has failed the remaining queued tasks are drained
+        // unrun: the relaxed-then-confirm pattern keeps the hot path at one
+        // atomic load while the capture itself is serialized under the
+        // sleep mutex (first writer wins).
+        if (!failed_.load(std::memory_order_acquire)) {
+          try {
+            task();
+          } catch (...) {
+            std::lock_guard<std::mutex> lock(sleep_mutex_);
+            if (!first_error_) {
+              first_error_ = std::current_exception();
+              failed_.store(true, std::memory_order_release);
+            }
+          }
+        }
         std::lock_guard<std::mutex> lock(sleep_mutex_);
         if (--pending_ == 0) all_done_.notify_all();
         continue;
@@ -156,6 +189,13 @@ class ThreadPool {
   std::condition_variable all_done_;
   std::size_t pending_ = 0;
   bool stop_ = false;
+  /// First task exception of the current submit/wait round, rethrown (and
+  /// cleared) by wait(). Guarded by sleep_mutex_; failed_ mirrors its
+  /// presence for the workers' lock-free fast path. An exception that is
+  /// never wait()ed for is dropped at destruction — destroying a pool
+  /// without the barrier already forfeits the results.
+  std::exception_ptr first_error_;
+  std::atomic<bool> failed_{false};
 };
 
 }  // namespace adapex

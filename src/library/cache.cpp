@@ -1,21 +1,23 @@
 #include "library/cache.hpp"
 
-#include <unistd.h>
-
 #include <cstdlib>
 #include <filesystem>
 #include <iomanip>
 #include <limits>
 #include <sstream>
 
+#include "common/integrity.hpp"
+
 namespace adapex {
 
 namespace {
 
-/// Bump whenever the key layout below changes (or a generation-relevant
-/// field starts/stops being hashed): every cached artifact written under an
-/// older schema is then ignored rather than silently reused.
-constexpr int kCacheKeySchema = 3;
+/// Bump whenever the key layout below changes, a generation-relevant field
+/// starts/stops being hashed, or the artifact file format changes: every
+/// cached artifact written under an older schema is then ignored rather
+/// than silently reused. v4: artifacts are sealed checksummed envelopes
+/// (common/integrity.hpp) instead of plain Library JSON.
+constexpr int kCacheKeySchema = 4;
 
 /// Streams every generation-relevant *value* into a readable key string.
 /// Schema v1 hashed only the sizes of the sweeps and the variant count and
@@ -61,15 +63,6 @@ void add_train_config(KeyBuilder& key, const char* prefix,
       .list((p + ".exit_weights").c_str(), t.exit_weights)
       .field((p + ".augment").c_str(), t.augment)
       .field((p + ".seed").c_str(), t.seed);
-}
-
-std::uint64_t fnv1a(const std::string& s) {
-  std::uint64_t h = 1469598103934665603ULL;
-  for (char c : s) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 1099511628211ULL;
-  }
-  return h;
 }
 
 }  // namespace
@@ -197,37 +190,53 @@ std::string library_cache_key(const LibraryGenSpec& spec) {
 
   std::ostringstream out;
   out << spec.dataset.name << "_v" << kCacheKeySchema << "_" << std::hex
-      << fnv1a(key.str());
+      << fnv1a64(key.str());
   return out.str();
 }
 
 Library generate_or_load_library(const LibraryGenSpec& spec,
                                  const std::string& dir) {
   std::filesystem::create_directories(dir);
-  const std::string path = dir + "/library_" + library_cache_key(spec) + ".json";
+  const std::string path =
+      dir + "/library_" + library_cache_key(spec) + ".json";
   if (std::filesystem::exists(path)) {
     try {
+      // Library::load verifies the sealed envelope's content checksum, so
+      // a bit-flipped-but-parseable artifact lands in the catch below.
       return Library::load(path);
     } catch (const Error& e) {
-      // A torn or truncated artifact (e.g. a crashed writer predating the
-      // atomic publish below) must trigger regeneration, not a hard crash.
+      // Torn, truncated, or checksum-mismatched artifacts are quarantined
+      // (evidence preserved at <path>.corrupt) and regenerated — never
+      // served, never silently deleted.
+      const std::string moved = quarantine_file(path);
       if (spec.on_progress) {
-        spec.on_progress(std::string("cache: discarding corrupt artifact ") +
-                         path + " (" + e.what() + ")");
+        spec.on_progress(std::string("cache: quarantining corrupt artifact ") +
+                         path + " -> " + moved + " (" + e.what() + ")");
       }
-      std::error_code ec;
-      std::filesystem::remove(path, ec);
     }
   }
-  Library lib = generate_library(spec);
-  // Atomic publish: concurrent benches racing on the same key either see
-  // the complete file or none at all; the pid salt keeps two writers from
-  // interleaving within one temp file. rename() then makes the last writer
-  // win with an identical payload (generation is deterministic).
-  const std::string tmp =
-      path + "." + std::to_string(::getpid()) + ".json.tmp";
-  lib.save(tmp);
-  std::filesystem::rename(tmp, path);
+  // A report is always attached (the caller's, else a local one): a
+  // PartialPolicy::kEmitPartial run that quarantined points must not be
+  // cached, or the incomplete Library would poison every future lookup of
+  // this key.
+  GenerationReport local_report;
+  LibraryGenSpec gen_spec = spec;
+  if (gen_spec.report == nullptr) gen_spec.report = &local_report;
+  Library lib = generate_library(gen_spec);
+  if (gen_spec.report->partial) {
+    if (spec.on_progress) {
+      spec.on_progress("cache: not caching partial library (" +
+                       std::to_string(gen_spec.report->quarantined()) +
+                       " design points quarantined)");
+    }
+    return lib;
+  }
+  // Sealed + atomic publish: the artifact carries a content checksum that
+  // the next load verifies, and concurrent benches racing on the same key
+  // each publish a complete file — the last writer wins with identical
+  // bytes (generation is deterministic).
+  atomic_write_file(
+      path, seal_document("library", lib.to_json(), spec.checksum_mode));
   return lib;
 }
 

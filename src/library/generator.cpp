@@ -1,15 +1,18 @@
 #include "library/generator.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <exception>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <set>
 #include <utility>
 
 #include "analysis/dataflow.hpp"
 #include "analysis/lint.hpp"
 #include "common/thread_pool.hpp"
+#include "library/cache.hpp"
 #include "nn/eval.hpp"
 #include "pruning/pruning.hpp"
 
@@ -122,6 +125,12 @@ std::vector<DesignPoint> enumerate_design_points(const LibraryGenSpec& spec) {
 std::size_t resolve_thread_count(const LibraryGenSpec& spec) {
   if (spec.num_threads > 0) return static_cast<std::size_t>(spec.num_threads);
   return ThreadPool::env_thread_count();
+}
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
 }
 
 /// Clones the family base model, prunes, retrains, compiles, and evaluates
@@ -342,60 +351,133 @@ DesignPointResult run_design_point(const LibraryGenSpec& spec,
   return result;
 }
 
+/// Retry attempts retrain from a stream forked off the point's canonical
+/// seed with this salt, so attempt k of point p can never collide with any
+/// canonical (variant, rate) stream of the sweep.
+constexpr std::uint64_t kRetrySalt = 0x7265747279ULL;  // "retry"
+
 }  // namespace
 
 Library generate_library(const LibraryGenSpec& spec) {
+  const auto t_start = std::chrono::steady_clock::now();
+  require_valid_gen_spec(spec);
   ADAPEX_CHECK(spec.cnv.num_classes == spec.dataset.num_classes,
                "CNV class count must match the dataset");
   ADAPEX_CHECK(!spec.prune_rates_pct.empty(), "no pruning rates configured");
   ADAPEX_CHECK(!spec.variants.empty(), "no model variants configured");
 
-  const SyntheticDataset data = make_synthetic(spec.dataset);
+  GenerationReport scratch;
+  GenerationReport& report = spec.report != nullptr ? *spec.report : scratch;
+  report = GenerationReport{};
+
+  // The journal is keyed by the artifact-cache key: a checkpoint can only
+  // ever be replayed against the spec that produced it.
+  GenerationJournal journal;
+  if (!spec.journal_dir.empty()) {
+    journal = GenerationJournal(
+        spec.journal_dir, library_cache_key(spec), spec.checksum_mode,
+        [&spec](const std::string& m) { progress(spec, m); });
+  }
+
+  const std::vector<DesignPoint> points = enumerate_design_points(spec);
+  std::vector<DesignPointResult> results(points.size());
+  std::vector<PointOutcome> outcomes(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    outcomes[i].index = i;
+    outcomes[i].variant = points[i].variant;
+    outcomes[i].rate_pct = points[i].rate_pct;
+  }
+  std::vector<char> done(points.size(), 0);
+
+  // Replay pass (serial, sweep order): every intact checkpoint whose
+  // identity matches the canonical design point is restored verbatim.
+  // Checkpoints written by a retried point carry a forked retrain seed, so
+  // the identity check quarantines them and the point is recomputed from
+  // its canonical stream — resumed output stays byte-identical to an
+  // uninterrupted run.
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    JournalPoint jp;
+    if (!journal.load_point(i, points[i].variant, points[i].rate_pct,
+                            points[i].retrain_seed, &jp)) {
+      continue;
+    }
+    results[i].accelerators = std::move(jp.accelerators);
+    results[i].entries = std::move(jp.entries);
+    results[i].progress_msg = std::move(jp.progress_msg);
+    done[i] = 1;
+    outcomes[i].status = PointStatus::kReplayed;
+    outcomes[i].attempts = 0;
+    progress(spec, "journal: replayed " +
+                       std::string(to_string(points[i].variant)) + " rate " +
+                       std::to_string(points[i].rate_pct) + "%");
+  }
+
+  double journal_ref = 0.0;
+  const bool have_meta = journal.load_meta(&journal_ref);
+
+  // Base models are only (re)trained for the families that still have work:
+  // the plain CNV also anchors the reference accuracy, so it is needed
+  // whenever the meta checkpoint is missing. Each family trains from its
+  // own independent RNG stream (seed / seed+1), so skipping one never
+  // shifts the other — byte-identity survives partial replay.
+  bool need_plain = !have_meta;
+  bool need_ee = false;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (done[i]) continue;
+    if (points[i].variant == ModelVariant::kNoExit) {
+      need_plain = true;
+    } else {
+      need_ee = true;
+    }
+  }
+
+  // Generated only when some family still trains or evaluates: a fully
+  // replayed resume (all points + meta) touches neither the dataset nor
+  // the RNG streams.
+  std::optional<SyntheticDataset> data;
+  if (need_plain || need_ee) data = make_synthetic(spec.dataset);
+
   Library lib;
   lib.dataset = spec.dataset.name;
   lib.static_power_w = spec.power.static_w;
   lib.mitigation = spec.mitigation;
 
-  // Train each family once, serially: every design point forks from these.
-  Rng init_rng(spec.seed);
-  BranchyModel base_plain = build_cnv(spec.cnv, init_rng);
-  verify_base_design(base_plain, spec, "no-exit CNV:");
-  progress(spec, "training no-exit CNV (" +
-                     std::to_string(spec.initial_train.epochs) + " epochs)");
-  train_model(base_plain, data.train, spec.dataset.flip_symmetry,
-              spec.initial_train);
+  // Train each needed family once, serially: design points fork from these.
+  BranchyModel base_plain;
+  if (need_plain) {
+    Rng init_rng(spec.seed);
+    base_plain = build_cnv(spec.cnv, init_rng);
+    verify_base_design(base_plain, spec, "no-exit CNV:");
+    progress(spec, "training no-exit CNV (" +
+                       std::to_string(spec.initial_train.epochs) + " epochs)");
+    train_model(base_plain, data->train, spec.dataset.flip_symmetry,
+                spec.initial_train);
+  }
 
-  const bool wants_exits =
-      std::any_of(spec.variants.begin(), spec.variants.end(), [](ModelVariant v) {
-        return v != ModelVariant::kNoExit;
-      });
   BranchyModel base_ee;
-  if (wants_exits) {
+  if (need_ee) {
     Rng ee_rng(spec.seed + 1);
     base_ee = build_cnv_with_exits(spec.cnv, spec.exits, ee_rng);
     verify_base_design(base_ee, spec, "early-exit CNV:");
     progress(spec, "training early-exit CNV (joint loss, " +
                        std::to_string(spec.initial_train.epochs) + " epochs)");
-    train_model(base_ee, data.train, spec.dataset.flip_symmetry,
+    train_model(base_ee, data->train, spec.dataset.flip_symmetry,
                 spec.initial_train);
   }
 
-  // Reference accuracy: unpruned no-exit model.
-  {
-    auto eval = evaluate_exits(base_plain, data.test);
+  // Reference accuracy: unpruned no-exit model (journaled in meta.json so a
+  // fully-replayed resume never retrains just to recompute one scalar).
+  if (have_meta) {
+    lib.reference_accuracy = journal_ref;
+    progress(spec, "journal: replayed reference accuracy " +
+                       std::to_string(journal_ref));
+  } else {
+    auto eval = evaluate_exits(base_plain, data->test);
     lib.reference_accuracy = apply_threshold(eval, 2.0).accuracy;
     progress(spec, "reference accuracy (FINN, unpruned): " +
                        std::to_string(lib.reference_accuracy));
+    journal.record_meta(lib.reference_accuracy);
   }
-
-  // Fan the (variant, rate) design points out over the pool. From here on
-  // the base models, dataset, and spec are read-only shared state; each
-  // task writes only its own pre-assigned result slot, so assembling rows
-  // in sweep order below yields the same bytes at any thread count.
-  const std::vector<DesignPoint> points = enumerate_design_points(spec);
-  std::vector<DesignPointResult> results(points.size());
-  const std::size_t num_threads =
-      std::min(resolve_thread_count(spec), std::max<std::size_t>(points.size(), 1));
 
   // Pre-assign each design point a contiguous accelerator-id block (styled
   // first, then one id per reach regime for exit points), so ids are dense,
@@ -413,40 +495,146 @@ Library generate_library(const LibraryGenSpec& spec) {
     }
   }
 
-  auto run_point = [&](std::size_t i) {
+  // Runs one design point to its final outcome: attempt, retry on fresh
+  // forked seed streams, then quarantine. Catches everything — a failing
+  // point must never take down its worker or sibling points — and
+  // checkpoints each success the moment it lands. Touches only slot i.
+  auto attempt_point = [&](std::size_t i) {
     const DesignPoint& p = points[i];
-    const BranchyModel& base =
-        p.variant != ModelVariant::kNoExit ? base_ee : base_plain;
-    results[i] = run_design_point(spec, data, base, p, id_base[i]);
+    PointOutcome& out = outcomes[i];
+    const auto t_point = std::chrono::steady_clock::now();
+    std::string last_error;
+    for (int attempt = 0; attempt <= spec.max_point_retries; ++attempt) {
+      try {
+        if (spec.point_fault_hook) spec.point_fault_hook(i, attempt);
+        DesignPoint run = p;
+        if (attempt > 0) {
+          run.retrain_seed =
+              derive_seed(p.retrain_seed, kRetrySalt,
+                          static_cast<std::uint64_t>(attempt));
+        }
+        const BranchyModel& base =
+            p.variant != ModelVariant::kNoExit ? base_ee : base_plain;
+        results[i] = run_design_point(spec, *data, base, run, id_base[i]);
+        out.status =
+            attempt == 0 ? PointStatus::kComputed : PointStatus::kRetried;
+        out.attempts = attempt + 1;
+        out.error = last_error;
+        if (journal.enabled()) {
+          const auto t_ckpt = std::chrono::steady_clock::now();
+          JournalPoint jp;
+          jp.index = i;
+          jp.variant = p.variant;
+          jp.rate_pct = p.rate_pct;
+          // The seed actually used: a retried point journals its fork, and
+          // the replay identity check above makes the next resume recompute
+          // it from the canonical stream instead of replaying the fork.
+          jp.retrain_seed = run.retrain_seed;
+          jp.accelerators = results[i].accelerators;
+          jp.entries = results[i].entries;
+          jp.progress_msg = results[i].progress_msg;
+          journal.record_point(jp);
+          out.checkpoint_s = seconds_since(t_ckpt);
+        }
+        out.wall_s = seconds_since(t_point);
+        return;
+      } catch (const std::exception& e) {
+        last_error = e.what();
+      } catch (...) {
+        last_error = "unknown exception";
+      }
+    }
+    out.status = PointStatus::kQuarantined;
+    out.attempts = spec.max_point_retries + 1;
+    out.error = last_error;
+    out.wall_s = seconds_since(t_point);
+    results[i] = DesignPointResult{};
+    journal.record_failure(i, p.variant, p.rate_pct, out.attempts, last_error);
   };
 
+  auto outcome_message = [&](std::size_t i) -> std::string {
+    const PointOutcome& out = outcomes[i];
+    if (out.status == PointStatus::kQuarantined) {
+      return "design point " + std::to_string(i) + " (" +
+             std::string(to_string(out.variant)) + " rate " +
+             std::to_string(out.rate_pct) + "%) quarantined after " +
+             std::to_string(out.attempts) + " attempts: " + out.error;
+    }
+    std::string msg = results[i].progress_msg;
+    if (out.status == PointStatus::kRetried) {
+      msg += " [retried x" + std::to_string(out.attempts - 1) + "]";
+    }
+    return msg;
+  };
+
+  // Fan the still-undone design points out over the pool. From here on the
+  // base models, dataset, and spec are read-only shared state; each task
+  // writes only its own pre-assigned slots, so assembling rows in sweep
+  // order below yields the same bytes at any thread count. Only undone
+  // indices are submitted (dense `todo` positions), so the ordered progress
+  // sink never waits on a replayed point that will not report.
+  std::vector<std::size_t> todo;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (!done[i]) todo.push_back(i);
+  }
+  const std::size_t num_threads = std::min(
+      resolve_thread_count(spec), std::max<std::size_t>(todo.size(), 1));
+
   if (num_threads <= 1) {
-    for (std::size_t i = 0; i < points.size(); ++i) {
-      run_point(i);
-      progress(spec, results[i].progress_msg);
+    for (std::size_t i : todo) {
+      attempt_point(i);
+      progress(spec, outcome_message(i));
     }
   } else {
-    progress(spec, "sweeping " + std::to_string(points.size()) +
+    progress(spec, "sweeping " + std::to_string(todo.size()) +
                        " design points on " + std::to_string(num_threads) +
                        " threads");
     OrderedProgressSink sink(spec);
     ThreadPool pool(num_threads);
-    std::mutex error_mutex;
-    std::exception_ptr first_error;
-    for (std::size_t i = 0; i < points.size(); ++i) {
-      pool.submit([&, i] {
-        try {
-          run_point(i);
-          sink.publish(i, results[i].progress_msg);
-        } catch (...) {
-          std::lock_guard<std::mutex> lock(error_mutex);
-          if (!first_error) first_error = std::current_exception();
-          sink.publish(i, "design point " + std::to_string(i) + " failed");
-        }
+    for (std::size_t t = 0; t < todo.size(); ++t) {
+      pool.submit([&, t] {
+        const std::size_t i = todo[t];
+        attempt_point(i);  // never throws: failures quarantine in-slot
+        sink.publish(t, outcome_message(i));
       });
     }
+    // attempt_point contains every expected failure; the pool's capture
+    // path is only a backstop (e.g. bad_alloc while recording an error).
     pool.wait();
-    if (first_error) std::rethrow_exception(first_error);
+  }
+
+  // Flight record first — on a kFail throw below the caller's report still
+  // explains exactly which points died and what succeeded before them.
+  report.points = outcomes;
+  for (const auto& o : outcomes) {
+    report.compute_wall_s += o.wall_s;
+    report.checkpoint_wall_s += o.checkpoint_s;
+  }
+  report.total_wall_s = seconds_since(t_start);
+
+  std::vector<std::size_t> quarantined;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (outcomes[i].status == PointStatus::kQuarantined) {
+      quarantined.push_back(i);
+    }
+  }
+  if (!quarantined.empty()) {
+    if (spec.partial_policy == PartialPolicy::kFail) {
+      std::string msg = "library generation: " +
+                        std::to_string(quarantined.size()) +
+                        " design point(s) quarantined:";
+      for (std::size_t i : quarantined) {
+        msg += "\n  - " + std::string(to_string(points[i].variant)) +
+               " rate " + std::to_string(points[i].rate_pct) + "% (after " +
+               std::to_string(outcomes[i].attempts) +
+               " attempts): " + outcomes[i].error;
+      }
+      throw ConfigError(msg);
+    }
+    report.partial = true;
+    progress(spec, "emitting PARTIAL library: " +
+                       std::to_string(quarantined.size()) +
+                       " design point(s) quarantined");
   }
 
   for (auto& result : results) {

@@ -23,6 +23,19 @@
 // is byte-identical for every thread count (ADAPEX_THREADS=1 reproduces the
 // serial path exactly). Progress messages are buffered per design point and
 // flushed in sweep order through a mutex-guarded sink.
+//
+// Crash safety and failure isolation (library/journal.hpp): with
+// `journal_dir` set, every completed design point is checkpointed to disk
+// the moment it finishes, and a rerun with the same spec replays intact
+// checkpoints instead of recomputing them — the resumed Library is
+// byte-identical to an uninterrupted run. A design point that throws is
+// quarantined instead of aborting the sweep: it is retried up to
+// `max_point_retries` times on a fresh derived seed stream, then either
+// fails the run (PartialPolicy::kFail, after every other point finished)
+// or is explicitly omitted from a partial Library
+// (PartialPolicy::kEmitPartial). Per-point outcomes, retry/quarantine
+// counts, and the checkpoint overhead land in an optional
+// GenerationReport.
 
 #pragma once
 
@@ -33,6 +46,7 @@
 #include "data/dataset.hpp"
 #include "finn/accelerator.hpp"
 #include "finn/reconfig.hpp"
+#include "library/journal.hpp"
 #include "library/library.hpp"
 #include "model/cnv.hpp"
 #include "nn/trainer.hpp"
@@ -93,6 +107,42 @@ struct LibraryGenSpec {
   /// simulates two streams per row); like num_threads it does not change
   /// the generated Library, so it must never enter an artifact cache key.
   bool verify_dataflow = false;
+  /// Crash-safe checkpointing: when non-empty, every completed design
+  /// point is journaled under `<journal_dir>/<artifact cache key>` the
+  /// moment it finishes (library/journal.hpp), and a rerun with the same
+  /// spec verifies and replays finished checkpoints instead of recomputing
+  /// them. Checkpoints are checksummed; a corrupt one is quarantined to
+  /// `<file>.corrupt` and its point recomputed. The resumed Library is
+  /// byte-identical to an uninterrupted run, so — like num_threads — this
+  /// never enters the artifact cache key. Empty (default): no journal.
+  std::string journal_dir;
+  /// Retries per failing design point beyond the first attempt (rule RG2).
+  /// Each retry retrains from a fresh splitmix64-derived seed stream so a
+  /// transient numeric/environment failure gets new randomness; a point
+  /// that only succeeds on a retry therefore carries non-canonical rows
+  /// and its checkpoint is journaled under the seed it actually used (a
+  /// later resume recomputes it from the canonical seed instead of
+  /// replaying the fork).
+  int max_point_retries = 0;
+  /// What a design point that still fails after its retries does to the
+  /// sweep (library/journal.hpp). kFail (default) throws one aggregated
+  /// ConfigError after every other point finished — with a journal, all
+  /// that finished work survives for the next attempt. kEmitPartial emits
+  /// a Library missing the quarantined points, explicit in the report.
+  PartialPolicy partial_policy = PartialPolicy::kFail;
+  /// Content-checksum algorithm sealing journal checkpoints and the cached
+  /// artifact: "fnv1a64" (default) or "crc32" (rule RG4).
+  std::string checksum_mode = "fnv1a64";
+  /// Optional flight recorder: when set, filled with per-point outcomes
+  /// (computed/replayed/retried/quarantined, attempts, wall time) and the
+  /// checkpoint-overhead share. Not part of the cache key.
+  GenerationReport* report = nullptr;
+  /// Test/chaos seam: invoked at the start of every design-point attempt
+  /// with (sweep index, 0-based attempt). A throw from here is handled
+  /// exactly like a point failure (retry, then quarantine) — the resume
+  /// tests and `bench_00 --smoke` use it to induce deterministic
+  /// mid-sweep failures. Not part of the cache key.
+  std::function<void(std::size_t, int)> point_fault_hook;
   /// Progress sink (e.g. [](const std::string& s){ std::cerr << s << "\n"; }).
   /// May be called from worker threads, but calls are serialized under a
   /// mutex and design-point messages arrive in sweep order.

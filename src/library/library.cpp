@@ -1,5 +1,7 @@
 #include "library/library.hpp"
 
+#include "common/integrity.hpp"
+
 namespace adapex {
 
 const char* to_string(ModelVariant v) {
@@ -180,7 +182,15 @@ void Library::save(const std::string& path) const {
 }
 
 Library Library::load(const std::string& path) {
-  return from_json(Json::parse(read_file(path)));
+  Json j = Json::parse(read_file(path));
+  // Cache artifacts (schema v4+) are sealed envelopes whose content
+  // checksum is verified here (common/integrity.hpp); plain documents
+  // (Library::save output, older artifacts, hand-written fixtures) load
+  // unchanged.
+  if (is_sealed_document(j)) {
+    return from_json(open_document(j, "library"));
+  }
+  return from_json(j);
 }
 
 }  // namespace adapex

@@ -48,6 +48,57 @@ TEST(ThreadPool, RunsEverySubmittedTask) {
   EXPECT_EQ(count.load(), 250);
 }
 
+TEST(ThreadPool, ThrowingTaskDoesNotTerminateAndWaitRethrows) {
+  // Before the exception-capture contract a throwing task escaped into its
+  // worker thread and std::terminate()d the whole process.
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([&ran, i] {
+      if (i == 3) throw ConfigError("task 3 failed");
+      ran.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_THROW(pool.wait(), ConfigError);
+  // Tasks that ran before the failure completed; none ran twice.
+  EXPECT_LE(ran.load(), 7);
+}
+
+TEST(ThreadPool, FirstExceptionWinsAndQueueDrains) {
+  // Single worker: deterministic order. The first throwing task's exception
+  // is the one wait() rethrows, and every task queued after the failure is
+  // drained without running.
+  ThreadPool pool(1);
+  std::atomic<int> ran{0};
+  pool.submit([] { throw ConfigError("first"); });
+  pool.submit([] { throw ParseError("second"); });
+  for (int i = 0; i < 16; ++i) {
+    pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  }
+  try {
+    pool.wait();
+    FAIL() << "wait() must rethrow";
+  } catch (const ConfigError& e) {
+    EXPECT_STREQ(e.what(), "first");
+  }
+  EXPECT_EQ(ran.load(), 0);
+}
+
+TEST(ThreadPool, ReusableAfterFailure) {
+  // wait() resets the failure state: the next submit/wait round behaves as
+  // if the pool were freshly constructed.
+  ThreadPool pool(3);
+  pool.submit([] { throw ConfigError("boom"); });
+  EXPECT_THROW(pool.wait(), ConfigError);
+
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  EXPECT_NO_THROW(pool.wait());
+  EXPECT_EQ(count.load(), 100);
+}
+
 TEST(ThreadPool, EnvThreadCountParsing) {
   ASSERT_EQ(setenv("ADAPEX_THREADS", "6", 1), 0);
   EXPECT_EQ(ThreadPool::env_thread_count(), 6u);
@@ -215,14 +266,18 @@ TEST(LibraryCache, CorruptArtifactIsRegenerated) {
   EXPECT_DOUBLE_EQ(second.reference_accuracy, first.reference_accuracy);
   bool reported = false;
   for (const auto& m : msgs) {
-    if (m.starts_with("cache: discarding corrupt artifact")) reported = true;
+    if (m.starts_with("cache: quarantining corrupt artifact")) reported = true;
   }
   EXPECT_TRUE(reported);
 
-  // The regenerated artifact is valid and no temp files are left behind.
+  // The corrupt bytes were preserved for postmortem, not deleted, and the
+  // regenerated artifact is valid. Apart from the quarantine file no other
+  // debris (temp files) is left behind.
+  EXPECT_TRUE(std::filesystem::exists(path + ".corrupt"));
   EXPECT_NO_THROW(Library::load(path));
   for (const auto& e : std::filesystem::directory_iterator(dir)) {
-    EXPECT_EQ(e.path().extension(), ".json") << e.path();
+    const auto ext = e.path().extension();
+    EXPECT_TRUE(ext == ".json" || ext == ".corrupt") << e.path();
   }
   std::filesystem::remove_all(dir);
 }
