@@ -11,6 +11,7 @@
 //   adapex_lint --gen-spec [--journal-dir DIR] [--max-point-retries N]
 //               [--partial-policy fail|emit_partial]
 //               [--checksum-mode fnv1a64|crc32] [--verify-dataflow]
+//               [--eval-path auto|float|packed]
 //               [--min-severity ...] [--json]
 //
 // Lints a (model, folding, accelerator-config) design point and prints the
@@ -32,11 +33,14 @@
 // scenario and fault-spec rules on its base), skipping the model path
 // entirely. The same --json / --min-severity / exit-code contract applies.
 //
-// --gen-spec switches to the crash-safety rules RG1-RG5
-// (library/journal.hpp): the journal/retry/partial/checksum knobs of a
-// library-generation spec are validated exactly as generate_library() would
-// before spending any training time — CI can gate a sweep's configuration
-// without running it.
+// --gen-spec switches to the crash-safety rules RG1-RG5 and the
+// packed-inference rules RQ2-RQ3 (library/journal.hpp): the
+// journal/retry/partial/checksum/eval-path knobs of a library-generation
+// spec are validated exactly as generate_library() would before spending
+// any training time — CI can gate a sweep's configuration without running
+// it. RQ3 reads the ADAPEX_PACKED environment variable of this process, so
+// exporting the intended override before linting reproduces exactly what a
+// generation run would see.
 //
 // --json replaces the table with a machine-readable document on stdout
 // ({"errors", "warnings", "infos", "diagnostics": [...], ...}) for CI
@@ -81,6 +85,7 @@ int usage() {
       "  adapex_lint --gen-spec [--journal-dir DIR] [--max-point-retries N]\n"
       "              [--partial-policy fail|emit_partial]\n"
       "              [--checksum-mode fnv1a64|crc32] [--verify-dataflow]\n"
+      "              [--eval-path auto|float|packed]\n"
       "              [--min-severity ...] [--json]\n"
       "devices: zcu104 (default) | ultra96 | zcu102\n"
       "exit codes: 0 clean, 3 errors found, 1 usage, 2 runtime failure\n";
@@ -193,6 +198,7 @@ int main(int argc, char** argv) {
       if (flags.count("checksum-mode")) {
         spec.checksum_mode = flags["checksum-mode"];
       }
+      if (flags.count("eval-path")) spec.eval_path = flags["eval-path"];
       spec.verify_dataflow = flags.count("verify-dataflow") > 0;
       const analysis::LintReport report = lint_gen_spec(spec);
       const int code = emit(report, min_severity_early, json, "", Json());
@@ -202,7 +208,8 @@ int main(int argc, char** argv) {
                                          : spec.journal_dir)
                   << ", retries " << spec.max_point_retries << ", policy "
                   << to_string(spec.partial_policy) << ", checksum "
-                  << spec.checksum_mode << ")\n";
+                  << spec.checksum_mode << ", eval path " << spec.eval_path
+                  << ")\n";
       }
       return code;
     }

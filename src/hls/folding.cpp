@@ -76,6 +76,21 @@ long site_fold_cycles(const LayerSite& site, const LayerFold& fold) {
   return mvtu_cycles(g, fold.pe, fold.simd);
 }
 
+// Packed-vs-float audit (ISSUE 10): every cost this file reports —
+// mvtu_cycles via site_fold_cycles above, resources via the geometry built
+// here — consumes only layer geometry and the *declared* weight/act bit
+// widths of the QAT layers. Those are identical whether a point was
+// evaluated on the float reference or the packed popcount path, so reported
+// ips/cycles/resource claims cannot disagree between eval paths. The one
+// place the two paths *can* disagree is upstream of this file entirely:
+// reported accuracy. The packed GEMM's integer sum is exact while the float
+// GEMM accumulates with rounding, so a logit pair (argmax) or a
+// confidence-vs-threshold comparison that lands within float epsilon of a
+// tie can resolve differently. nn/eval.cpp pins that seam shut by deriving
+// both paths' codes/confidences through the identical epilogue arithmetic
+// (tensor/packed.hpp) and test_packed gates decision identity bitwise;
+// GenerationReport.points[].eval_path records which path produced each
+// point so any residual drift is attributable from the artifact alone.
 MvtuGeometry site_mvtu_geometry(const LayerSite& site) {
   ADAPEX_CHECK(site.layer != nullptr && site.container != nullptr,
                "site geometry needs layer/container pointers: " + site.name);

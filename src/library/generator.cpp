@@ -63,7 +63,22 @@ struct DesignPointResult {
   std::vector<AcceleratorRecord> accelerators;
   std::vector<LibraryEntry> entries;
   std::string progress_msg;
+  /// Inference path that evaluated the point ("packed" / "float"),
+  /// recorded into the GenerationReport. Not journaled: a replayed point
+  /// evaluated nothing in this run.
+  std::string eval_path;
 };
+
+/// Maps the spec's eval_path knob to the evaluate_exits mode. "auto" stays
+/// kEnv so the ADAPEX_PACKED override keeps working under a generator run;
+/// explicit spec values win over the environment (lint rule RQ2 warns on
+/// the contradiction). Values are validated by require_valid_gen_spec
+/// before the sweep starts.
+PackedMode eval_mode_from_spec(const LibraryGenSpec& spec) {
+  if (spec.eval_path == "float") return PackedMode::kOff;
+  if (spec.eval_path == "packed") return PackedMode::kOn;
+  return PackedMode::kEnv;
+}
 
 /// Serializes on_progress calls and releases per-design-point messages in
 /// sweep order: a point's message is held until every earlier point has
@@ -167,8 +182,10 @@ DesignPointResult run_design_point(const LibraryGenSpec& spec,
   // design-point pool worker, and pool tasks must not spin up nested pools.
   // Evaluated once; all accelerators of this point share the model, so the
   // per-threshold exit statistics are identical across them.
-  const ExitEvaluation eval =
-      evaluate_exits(model, data.test, /*batch_size=*/32, /*num_threads=*/1);
+  const PackedMode eval_mode = eval_mode_from_spec(spec);
+  result.eval_path = resolved_eval_path(model, eval_mode);
+  const ExitEvaluation eval = evaluate_exits(
+      model, data.test, /*batch_size=*/32, /*num_threads=*/1, eval_mode);
 
   // Builds the record and Library rows of one synthesized accelerator,
   // runs the optional per-entry verification, and applies the mitigation
@@ -472,7 +489,8 @@ Library generate_library(const LibraryGenSpec& spec) {
     progress(spec, "journal: replayed reference accuracy " +
                        std::to_string(journal_ref));
   } else {
-    auto eval = evaluate_exits(base_plain, data->test);
+    auto eval = evaluate_exits(base_plain, data->test, /*batch_size=*/32,
+                               /*num_threads=*/0, eval_mode_from_spec(spec));
     lib.reference_accuracy = apply_threshold(eval, 2.0).accuracy;
     progress(spec, "reference accuracy (FINN, unpruned): " +
                        std::to_string(lib.reference_accuracy));
@@ -520,6 +538,7 @@ Library generate_library(const LibraryGenSpec& spec) {
             attempt == 0 ? PointStatus::kComputed : PointStatus::kRetried;
         out.attempts = attempt + 1;
         out.error = last_error;
+        out.eval_path = results[i].eval_path;
         if (journal.enabled()) {
           const auto t_ckpt = std::chrono::steady_clock::now();
           JournalPoint jp;

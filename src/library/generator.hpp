@@ -107,6 +107,19 @@ struct LibraryGenSpec {
   /// simulates two streams per row); like num_threads it does not change
   /// the generated Library, so it must never enter an artifact cache key.
   bool verify_dataflow = false;
+  /// Which inference path evaluates each design point's test sweep (and
+  /// the base model's reference accuracy): "auto" (default) defers to the
+  /// ADAPEX_PACKED environment override, which itself defaults to taking
+  /// the packed popcount path whenever the frozen W2A2 model is eligible
+  /// (nn/quant.hpp); "float" forces the float layer graph; "packed" forces
+  /// the packed path and fails generation when the model cannot freeze
+  /// (rule RQ1). Values are validated by lint rule RQ2. Packed and float
+  /// evaluation agree bitwise on every argmax/exit decision in practice, so
+  /// the generated Library is byte-identical either way — like num_threads
+  /// this deliberately never enters the artifact cache key. The path each
+  /// point actually used is recorded in GenerationReport (eval_path per
+  /// point).
+  std::string eval_path = "auto";
   /// Crash-safe checkpointing: when non-empty, every completed design
   /// point is journaled under `<journal_dir>/<artifact cache key>` the
   /// moment it finishes (library/journal.hpp), and a rerun with the same

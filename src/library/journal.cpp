@@ -4,6 +4,7 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <system_error>
 
@@ -63,6 +64,7 @@ Json PointOutcome::to_json() const {
   j["wall_s"] = wall_s;
   j["checkpoint_s"] = checkpoint_s;
   if (!error.empty()) j["error"] = error;
+  if (!eval_path.empty()) j["eval_path"] = eval_path;
   return j;
 }
 
@@ -318,6 +320,40 @@ analysis::LintReport lint_gen_spec(const LibraryGenSpec& spec) {
     report.add("RG4", analysis::Severity::kError, "checksum_mode",
                "unknown checksum_mode '" + spec.checksum_mode + "'",
                "use fnv1a64 or crc32");
+  }
+
+  // RQ2: eval-path well-formedness and spec/environment consistency. (RQ1,
+  // the freeze-before-pack precondition, is enforced at runtime by
+  // freeze_packed — eligibility depends on the trained model, which a spec
+  // lint cannot see.)
+  const bool eval_path_valid = spec.eval_path == "auto" ||
+                               spec.eval_path == "float" ||
+                               spec.eval_path == "packed";
+  if (!eval_path_valid) {
+    report.add("RQ2", analysis::Severity::kError, "eval_path",
+               "unknown eval_path '" + spec.eval_path + "'",
+               "use auto, float, or packed");
+  }
+
+  // RQ3: the ADAPEX_PACKED override must parse; an explicit spec path that
+  // contradicts it is surfaced so nobody is surprised which path ran (the
+  // spec wins over the environment).
+  const char* env = std::getenv("ADAPEX_PACKED");
+  if (env != nullptr && *env != '\0') {
+    const std::string v(env);
+    if (v != "0" && v != "1" && v != "auto") {
+      report.add("RQ3", analysis::Severity::kError, "eval_path",
+                 "ADAPEX_PACKED='" + v + "' is not a valid packed-path mode",
+                 "use ADAPEX_PACKED=0, 1, or auto");
+    } else if (eval_path_valid && spec.eval_path != "auto" &&
+               ((spec.eval_path == "float" && v == "1") ||
+                (spec.eval_path == "packed" && v == "0"))) {
+      report.add("RQ2", analysis::Severity::kWarning, "eval_path",
+                 "spec eval_path '" + spec.eval_path +
+                     "' overrides the conflicting ADAPEX_PACKED=" + v +
+                     " environment setting",
+                 "drop one of the two overrides (spec wins)");
+    }
   }
 
   return report;

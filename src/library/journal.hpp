@@ -78,6 +78,9 @@ struct PointOutcome {
   double checkpoint_s = 0.0;
   /// Last error text (set for retried and quarantined points).
   std::string error;
+  /// Inference path that evaluated the point: "packed" or "float" (empty
+  /// for replayed/quarantined points, which evaluated nothing this run).
+  std::string eval_path;
 
   Json to_json() const;
 };
@@ -189,6 +192,12 @@ class GenerationJournal {
 ///   RG4 (error)   checksum_mode is not one of fnv1a64 | crc32.
 ///   RG5 (warning) journal_dir is a relative path — resumability then
 ///                 depends on the working directory of the next run.
+/// and the packed-inference rules RQ2-RQ3 (RQ1, the freeze-before-pack
+/// precondition, is enforced at runtime by nn/quant.hpp freeze_packed):
+///   RQ2 (error)   eval_path is not one of auto | float | packed;
+///       (warning) an explicit spec eval_path contradicts a set
+///                 ADAPEX_PACKED environment override (the spec wins).
+///   RQ3 (error)   ADAPEX_PACKED is set to something other than 0|1|auto.
 analysis::LintReport lint_gen_spec(const LibraryGenSpec& spec);
 
 /// Throws a ConfigError aggregating every error-severity RG finding.

@@ -13,11 +13,13 @@ namespace adapex {
 namespace {
 
 /// Runs batches [batch_begin, batch_end) of the fixed batch grid through
-/// `model` and writes each sample's pre-sized result row in place. Batch
-/// boundaries depend only on (test.size(), batch_size), so every sample is
-/// evaluated inside the same batch — hence with bit-identical forward math —
-/// no matter how batches are distributed over workers.
-void evaluate_batches(BranchyModel& model, const Dataset& test, int batch_size,
+/// `forward` (a callable Tensor -> std::vector<Tensor> of per-exit logits)
+/// and writes each sample's pre-sized result row in place. Batch boundaries
+/// depend only on (test.size(), batch_size), so every sample is evaluated
+/// inside the same batch — hence with bit-identical forward math — no
+/// matter how batches are distributed over workers.
+template <typename ForwardFn>
+void evaluate_batches(ForwardFn&& forward, const Dataset& test, int batch_size,
                       int batch_begin, int batch_end, const int* order,
                       ExitEvaluation& eval) {
   for (int b = batch_begin; b < batch_end; ++b) {
@@ -27,7 +29,7 @@ void evaluate_batches(BranchyModel& model, const Dataset& test, int batch_size,
     const std::vector<int> labels = test.batch_labels(order + start,
                                                       end - start);
 
-    auto logits = model.forward(batch, /*train=*/false);
+    auto logits = forward(batch);
     for (std::size_t e = 0; e < logits.size(); ++e) {
       const Tensor probs = ops::softmax(logits[e]);
       for (int i = 0; i < end - start; ++i) {
@@ -44,10 +46,51 @@ void evaluate_batches(BranchyModel& model, const Dataset& test, int batch_size,
   }
 }
 
+/// Fans worker(begin_batch, end_batch) out over a thread pool in contiguous
+/// chunks, rethrowing the first worker exception.
+template <typename WorkerFn>
+void parallel_batches(std::size_t threads, int num_batches,
+                      WorkerFn&& worker) {
+  ThreadPool pool(threads);
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  const int chunk = (num_batches + static_cast<int>(threads) - 1) /
+                    static_cast<int>(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    const int begin = static_cast<int>(t) * chunk;
+    const int end = std::min(begin + chunk, num_batches);
+    if (begin >= end) break;
+    pool.submit([&worker, &error_mutex, &first_error, begin, end] {
+      try {
+        worker(begin, end);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  pool.wait();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+/// Resolves the effective path: kEnv reads ADAPEX_PACKED, kAuto probes
+/// freezability, kOn lets freeze_packed raise the RQ1 error itself.
+bool use_packed_path(const BranchyModel& model, PackedMode mode) {
+  PackedMode m = mode == PackedMode::kEnv ? packed_mode_from_env() : mode;
+  if (m == PackedMode::kOff) return false;
+  if (m == PackedMode::kOn) return true;
+  return can_freeze(model);
+}
+
 }  // namespace
 
+const char* resolved_eval_path(const BranchyModel& model, PackedMode mode) {
+  return use_packed_path(model, mode) ? "packed" : "float";
+}
+
 ExitEvaluation evaluate_exits(BranchyModel& model, const Dataset& test,
-                              int batch_size, int num_threads) {
+                              int batch_size, int num_threads,
+                              PackedMode mode) {
   ADAPEX_CHECK(test.size() > 0, "empty test set");
   ADAPEX_CHECK(batch_size > 0, "batch size must be positive");
   const auto samples = static_cast<std::size_t>(test.size());
@@ -70,9 +113,38 @@ ExitEvaluation evaluate_exits(BranchyModel& model, const Dataset& test,
                             : ThreadPool::env_thread_count();
   threads = std::min(threads, static_cast<std::size_t>(num_batches));
 
+  if (use_packed_path(model, mode)) {
+    // Packed path: freeze once, share the frozen model const across
+    // workers (packed_forward keeps all mutable state in the per-worker
+    // scratch), so no clone is needed. Batch grid and result slots are the
+    // same as the float path — byte-identical at any thread count.
+    const PackedModel frozen = freeze_packed(model);
+    if (threads <= 1) {
+      PackedScratch scratch;
+      evaluate_batches(
+          [&frozen, &scratch](const Tensor& batch) {
+            return packed_forward(frozen, batch, scratch);
+          },
+          test, batch_size, 0, num_batches, order.data(), eval);
+      return eval;
+    }
+    parallel_batches(threads, num_batches, [&](int begin, int end) {
+      PackedScratch scratch;
+      evaluate_batches(
+          [&frozen, &scratch](const Tensor& batch) {
+            return packed_forward(frozen, batch, scratch);
+          },
+          test, batch_size, begin, end, order.data(), eval);
+    });
+    return eval;
+  }
+
   if (threads <= 1) {
-    evaluate_batches(model, test, batch_size, 0, num_batches, order.data(),
-                     eval);
+    evaluate_batches(
+        [&model](const Tensor& batch) {
+          return model.forward(batch, /*train=*/false);
+        },
+        test, batch_size, 0, num_batches, order.data(), eval);
     return eval;
   }
 
@@ -81,28 +153,14 @@ ExitEvaluation evaluate_exits(BranchyModel& model, const Dataset& test,
   // per-sample slots, and each worker clones the model once (forward mutates
   // layer caches even in eval mode). Results are byte-identical to the
   // serial path at any thread count.
-  ThreadPool pool(threads);
-  std::mutex error_mutex;
-  std::exception_ptr first_error;
-  const int chunk = (num_batches + static_cast<int>(threads) - 1) /
-                    static_cast<int>(threads);
-  for (std::size_t t = 0; t < threads; ++t) {
-    const int begin = static_cast<int>(t) * chunk;
-    const int end = std::min(begin + chunk, num_batches);
-    if (begin >= end) break;
-    pool.submit([&, begin, end] {
-      try {
-        BranchyModel local = model.clone();
-        evaluate_batches(local, test, batch_size, begin, end, order.data(),
-                         eval);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
-      }
-    });
-  }
-  pool.wait();
-  if (first_error) std::rethrow_exception(first_error);
+  parallel_batches(threads, num_batches, [&](int begin, int end) {
+    BranchyModel local = model.clone();
+    evaluate_batches(
+        [&local](const Tensor& batch) {
+          return local.forward(batch, /*train=*/false);
+        },
+        test, batch_size, begin, end, order.data(), eval);
+  });
   return eval;
 }
 

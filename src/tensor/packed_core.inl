@@ -1,0 +1,275 @@
+// Popcount-GEMM tier body. Included once per ISA namespace in packed.cpp
+// with ADAPEX_P_LEVEL selecting the popcount implementation:
+//   0  scalar: hardware popcnt via __builtin_popcountll
+//   1  AVX2:   vpshufb nibble-LUT popcount + vpsadbw, 4 columns/step
+//   2  AVX-512BW: the same nibble-LUT algorithm on 512-bit registers,
+//                 8 columns/step
+//   3  AVX512VPOPCNTDQ: native vpopcntq, 8 columns/step
+//
+// The SIMD tiers vectorize across *columns*, not across plane words: each
+// weight word is broadcast and ANDed against 4/8 consecutive columns'
+// same-word planes (contiguous in the word-major activation layout). Real
+// CNV reductions are short — k = 144..576 is only 3..9 words — so a
+// word-vectorized inner loop would spend almost everything in its scalar
+// tail; column blocking keeps full SIMD width at any k, as long as the
+// output has >= 4/8 columns (conv layers have hundreds).
+//
+// Every level computes the same exact integer sums (popcounts of the same
+// AND-masked words), so the tiers are bitwise-identical by construction.
+// The float epilogue below is the identical operation sequence in every
+// tier, built from exact IEEE ops only (packed.cpp is compiled with
+// -ffp-contract=off, so no tier fuses multiply+add).
+
+/// Column-chunk width: raw sums are staged through fixed buffers of this
+/// many columns, then the float epilogue runs as one vectorizable pass.
+constexpr int kGemmChunk = 256;
+
+// ----------------------------------------------------- per-level chunk core
+
+#if ADAPEX_P_LEVEL == 0
+
+/// sbuf[i] = exact S of (row planes pp/mm) x (columns c0+i), i < n.
+inline void gemm_row_chunk(const std::uint64_t* pp, const std::uint64_t* mm,
+                           const PackedActivations& a, int c0, int n,
+                           std::int32_t* sbuf) {
+  std::int32_t hi[kGemmChunk];
+  std::int32_t lo[kGemmChunk];
+  for (int i = 0; i < n; ++i) {
+    hi[i] = 0;
+    lo[i] = 0;
+  }
+  for (int w = 0; w < a.words; ++w) {
+    const std::uint64_t p = pp[w];
+    const std::uint64_t m = mm[w];
+    const std::size_t base = static_cast<std::size_t>(w) * a.cols +
+                             static_cast<std::size_t>(c0);
+    const std::uint64_t* l0 = a.lo.data() + base;
+    const std::uint64_t* l1 = a.hi.data() + base;
+    for (int i = 0; i < n; ++i) {
+      hi[i] += __builtin_popcountll(p & l1[i]) -
+               __builtin_popcountll(m & l1[i]);
+      lo[i] += __builtin_popcountll(p & l0[i]) -
+               __builtin_popcountll(m & l0[i]);
+    }
+  }
+  for (int i = 0; i < n; ++i) sbuf[i] = 2 * hi[i] + lo[i];
+}
+
+#elif ADAPEX_P_LEVEL == 1
+
+/// Per-64-bit-lane popcount (Mula's vpshufb nibble LUT + vpsadbw): each
+/// lane of the result holds the popcount of the corresponding input lane,
+/// i.e. of one column's word.
+inline __m256i popcnt_words256(__m256i v) {
+  const __m256i lut =
+      _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, 0, 1,
+                       1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(v, low);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low);
+  const __m256i counts = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                                         _mm256_shuffle_epi8(lut, hi));
+  return _mm256_sad_epu8(counts, _mm256_setzero_si256());
+}
+
+inline void gemm_row_chunk(const std::uint64_t* pp, const std::uint64_t* mm,
+                           const PackedActivations& a, int c0, int n,
+                           std::int32_t* sbuf) {
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {  // four columns per step
+    __m256i hiv = _mm256_setzero_si256();
+    __m256i lov = _mm256_setzero_si256();
+    for (int w = 0; w < a.words; ++w) {
+      const std::size_t base = static_cast<std::size_t>(w) * a.cols +
+                               static_cast<std::size_t>(c0 + i);
+      const __m256i v1 = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(a.hi.data() + base));
+      const __m256i v0 = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(a.lo.data() + base));
+      const __m256i p = _mm256_set1_epi64x(static_cast<long long>(pp[w]));
+      const __m256i m = _mm256_set1_epi64x(static_cast<long long>(mm[w]));
+      hiv = _mm256_add_epi64(hiv, popcnt_words256(_mm256_and_si256(p, v1)));
+      hiv = _mm256_sub_epi64(hiv, popcnt_words256(_mm256_and_si256(m, v1)));
+      lov = _mm256_add_epi64(lov, popcnt_words256(_mm256_and_si256(p, v0)));
+      lov = _mm256_sub_epi64(lov, popcnt_words256(_mm256_and_si256(m, v0)));
+    }
+    const __m256i s =
+        _mm256_add_epi64(_mm256_add_epi64(hiv, hiv), lov);
+    alignas(32) std::int64_t lanes[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), s);
+    for (int j = 0; j < 4; ++j) {
+      sbuf[i + j] = static_cast<std::int32_t>(lanes[j]);
+    }
+  }
+  for (; i < n; ++i) {  // scalar column tail (< 4 columns)
+    std::int64_t hi = 0;
+    std::int64_t lo = 0;
+    for (int w = 0; w < a.words; ++w) {
+      const std::size_t at = static_cast<std::size_t>(w) * a.cols +
+                             static_cast<std::size_t>(c0 + i);
+      hi += __builtin_popcountll(pp[w] & a.hi[at]) -
+            __builtin_popcountll(mm[w] & a.hi[at]);
+      lo += __builtin_popcountll(pp[w] & a.lo[at]) -
+            __builtin_popcountll(mm[w] & a.lo[at]);
+    }
+    sbuf[i] = static_cast<std::int32_t>(2 * hi + lo);
+  }
+}
+
+#elif ADAPEX_P_LEVEL == 2 || ADAPEX_P_LEVEL == 3
+
+#if ADAPEX_P_LEVEL == 2
+/// Per-64-bit-lane popcount via the nibble LUT (AVX-512BW vpshufb+vpsadbw).
+inline __m512i popcnt_words512(__m512i v) {
+  // The 16-byte nibble LUT (popcounts of 0..15) repeated per 128-bit lane,
+  // spelled as alternating little-endian 64-bit halves. (Avoids
+  // _mm512_broadcast_i32x4, whose _mm512_undefined_epi32 argument trips
+  // -Wmaybe-uninitialized in GCC's header under -Werror.)
+  const __m512i lut = _mm512_set_epi64(
+      0x0403030203020201ll, 0x0302020102010100ll, 0x0403030203020201ll,
+      0x0302020102010100ll, 0x0403030203020201ll, 0x0302020102010100ll,
+      0x0403030203020201ll, 0x0302020102010100ll);
+  const __m512i low = _mm512_set1_epi8(0x0f);
+  const __m512i lo = _mm512_and_si512(v, low);
+  const __m512i hi = _mm512_and_si512(_mm512_srli_epi16(v, 4), low);
+  const __m512i counts = _mm512_add_epi8(_mm512_shuffle_epi8(lut, lo),
+                                         _mm512_shuffle_epi8(lut, hi));
+  return _mm512_sad_epu8(counts, _mm512_setzero_si512());
+}
+#else
+/// Native per-64-bit-lane popcount (AVX512VPOPCNTDQ vpopcntq).
+inline __m512i popcnt_words512(__m512i v) { return _mm512_popcnt_epi64(v); }
+#endif
+
+inline void gemm_row_chunk(const std::uint64_t* pp, const std::uint64_t* mm,
+                           const PackedActivations& a, int c0, int n,
+                           std::int32_t* sbuf) {
+  int i = 0;
+  for (; i + 8 <= n; i += 8) {  // eight columns per step
+    __m512i hiv = _mm512_setzero_si512();
+    __m512i lov = _mm512_setzero_si512();
+    for (int w = 0; w < a.words; ++w) {
+      const std::size_t base = static_cast<std::size_t>(w) * a.cols +
+                               static_cast<std::size_t>(c0 + i);
+      const __m512i v1 = _mm512_loadu_si512(a.hi.data() + base);
+      const __m512i v0 = _mm512_loadu_si512(a.lo.data() + base);
+      const __m512i p = _mm512_set1_epi64(static_cast<long long>(pp[w]));
+      const __m512i m = _mm512_set1_epi64(static_cast<long long>(mm[w]));
+      hiv = _mm512_add_epi64(hiv, popcnt_words512(_mm512_and_si512(p, v1)));
+      hiv = _mm512_sub_epi64(hiv, popcnt_words512(_mm512_and_si512(m, v1)));
+      lov = _mm512_add_epi64(lov, popcnt_words512(_mm512_and_si512(p, v0)));
+      lov = _mm512_sub_epi64(lov, popcnt_words512(_mm512_and_si512(m, v0)));
+    }
+    const __m512i s =
+        _mm512_add_epi64(_mm512_add_epi64(hiv, hiv), lov);
+    alignas(64) std::int64_t lanes[8];
+    _mm512_store_si512(lanes, s);
+    for (int j = 0; j < 8; ++j) {
+      sbuf[i + j] = static_cast<std::int32_t>(lanes[j]);
+    }
+  }
+  for (; i < n; ++i) {  // scalar column tail (< 8 columns)
+    std::int64_t hi = 0;
+    std::int64_t lo = 0;
+    for (int w = 0; w < a.words; ++w) {
+      const std::size_t at = static_cast<std::size_t>(w) * a.cols +
+                             static_cast<std::size_t>(c0 + i);
+      hi += __builtin_popcountll(pp[w] & a.hi[at]) -
+            __builtin_popcountll(mm[w] & a.hi[at]);
+      lo += __builtin_popcountll(pp[w] & a.lo[at]) -
+            __builtin_popcountll(mm[w] & a.lo[at]);
+    }
+    sbuf[i] = static_cast<std::int32_t>(2 * hi + lo);
+  }
+}
+
+#else
+#error "ADAPEX_P_LEVEL must be 0..3"
+#endif
+
+// ------------------------------------------------------------- GEMM + store
+
+/// Fused epilogue over one row chunk of raw sums. The same float operation
+/// sequence in every tier, built only from exact IEEE ops (mul, add, div,
+/// min/max, compares — packed.cpp is compiled with -ffp-contract=off), so
+/// the compiler's auto-vectorization of these loops cannot change a single
+/// bit of the result. The quantize mapping counts thresholds instead of
+/// calling lround: for v in [0, levels] with every threshold j+0.5 exactly
+/// representable, sum_j (v >= j+0.5) IS lround(v) — same integers, no libm
+/// call per element (which dominated the epilogue), and vectorizable.
+inline void store_chunk(const Epilogue& e, int r, int c0, int n,
+                        const std::int32_t* s) {
+  const std::size_t base = static_cast<std::size_t>(r) * e.row_stride +
+                           static_cast<std::size_t>(c0) * e.col_stride;
+  const std::size_t cs = e.col_stride;
+  switch (e.mode) {
+    case Epilogue::Mode::kInt32: {
+      std::int32_t* dst = e.s32 + base;
+      for (int i = 0; i < n; ++i) dst[static_cast<std::size_t>(i) * cs] = s[i];
+      return;
+    }
+    case Epilogue::Mode::kQuantize: {
+      const float scale = e.scale[r];
+      const float bias = e.bias[r];
+      const float act = e.act_scale;
+      std::uint8_t* dst = e.codes + base;
+      if (e.act_levels == 3 && cs == 1) {  // the W2A2 hot path, vectorized
+        for (int i = 0; i < n; ++i) {
+          const float z = scale * static_cast<float>(s[i]) + bias;
+          const float clamped = z < 0.0f ? 0.0f : (z > act ? act : z);
+          const float v = clamped / act * 3.0f;
+          dst[i] = static_cast<std::uint8_t>(
+              (v >= 0.5f ? 1 : 0) + (v >= 1.5f ? 1 : 0) + (v >= 2.5f ? 1 : 0));
+        }
+        return;
+      }
+      const float levels = static_cast<float>(e.act_levels);
+      for (int i = 0; i < n; ++i) {
+        const float z = scale * static_cast<float>(s[i]) + bias;
+        const float clamped = z < 0.0f ? 0.0f : (z > act ? act : z);
+        const float v = clamped / act * levels;
+        std::uint8_t code = 0;
+        for (int j = 0; j < e.act_levels; ++j) {
+          code = static_cast<std::uint8_t>(
+              code + (v >= static_cast<float>(j) + 0.5f ? 1 : 0));
+        }
+        dst[static_cast<std::size_t>(i) * cs] = code;
+      }
+      return;
+    }
+    case Epilogue::Mode::kLogits: {
+      const float scale = e.scale[r];
+      const float bias = e.bias != nullptr ? e.bias[r] : 0.0f;
+      const bool add_bias = e.bias != nullptr;
+      float* dst = e.logits + base;
+      for (int i = 0; i < n; ++i) {
+        float z = scale * static_cast<float>(s[i]);
+        if (add_bias) z += bias;
+        dst[static_cast<std::size_t>(i) * cs] = z;
+      }
+      return;
+    }
+  }
+}
+
+/// Tier entry point: rows stream over the (small, cache-resident) weight
+/// planes; each row's columns are processed in kGemmChunk blocks by the
+/// level's column-vectorized core, then the float epilogue runs over the
+/// staged sums as a separate vectorizable pass. Conv outputs
+/// (row_stride = cols) store contiguously.
+void tier_popcount_gemm(const PackedWeights& w, const PackedActivations& a,
+                        const Epilogue& e) {
+  std::int32_t sbuf[kGemmChunk];
+  const int words = w.words;
+  for (int r = 0; r < w.rows; ++r) {
+    const std::uint64_t* pp =
+        w.plus.data() + static_cast<std::size_t>(r) * words;
+    const std::uint64_t* mm =
+        w.minus.data() + static_cast<std::size_t>(r) * words;
+    for (int c0 = 0; c0 < a.cols; c0 += kGemmChunk) {
+      const int n = std::min(kGemmChunk, a.cols - c0);
+      gemm_row_chunk(pp, mm, a, c0, n, sbuf);
+      store_chunk(e, r, c0, n, sbuf);
+    }
+  }
+}

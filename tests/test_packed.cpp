@@ -1,0 +1,482 @@
+// Tests for the bit-plane-packed W2A2 inference path (tensor/packed.hpp,
+// nn/quant.hpp freeze_packed / packed_forward, nn/eval.hpp dispatch):
+// pack/unpack round-trips, popcount GEMM vs integer and float references,
+// cross-tier byte-identity, freeze preconditions (rule RQ1), bitwise
+// argmax/exit-decision agreement with the float path on a trained CNV,
+// thread-count byte-identity, and library byte-identity packed-on vs
+// packed-off.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/scale.hpp"
+#include "data/dataset.hpp"
+#include "library/generator.hpp"
+#include "model/cnv.hpp"
+#include "nn/eval.hpp"
+#include "nn/trainer.hpp"
+#include "tensor/packed.hpp"
+
+namespace adapex {
+namespace {
+
+// Reduction lengths chosen to exercise the word tails: below one word,
+// exact multiples of 64, one past, primes, and pruned-channel style
+// non-multiples of 32 (the packing unit is 64 lanes; a pruned CNV layer's
+// C*k*k is rarely a multiple of either).
+const int kLens[] = {1, 7, 31, 57, 63, 64, 65, 91, 128, 130, 300};
+
+std::vector<std::int8_t> random_ternary(int rows, int k, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::int8_t> codes(static_cast<std::size_t>(rows) * k);
+  for (auto& c : codes) {
+    const double u = rng.uniform();
+    c = u < 0.4 ? std::int8_t{0} : (u < 0.7 ? std::int8_t{1} : std::int8_t{-1});
+  }
+  return codes;
+}
+
+std::vector<std::uint8_t> random_acts(int cols, int k, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint8_t> codes(static_cast<std::size_t>(cols) * k);
+  for (auto& c : codes) {
+    c = static_cast<std::uint8_t>(rng.uniform() * 4.0);
+    if (c > 3) c = 3;
+  }
+  return codes;
+}
+
+TEST(Packed, WeightRoundTripIsExact) {
+  for (int k : kLens) {
+    const int rows = 5;
+    const auto codes = random_ternary(rows, k, 1000 + static_cast<unsigned>(k));
+    packed::PackedWeights w;
+    packed::pack_weights(codes.data(), rows, k, w);
+    EXPECT_EQ(w.words, (k + 63) / 64);
+    std::vector<std::int8_t> back(codes.size(), 99);
+    packed::unpack_weights(w, back.data());
+    EXPECT_EQ(codes, back) << "k=" << k;
+    // Tail lanes beyond k must be zero in every plane (the GEMM relies on
+    // it instead of masking).
+    for (int r = 0; r < rows; ++r) {
+      const std::size_t last = static_cast<std::size_t>(r) * w.words + w.words - 1;
+      const int used = k - (w.words - 1) * 64;
+      if (used < 64) {
+        const std::uint64_t mask = ~((1ull << used) - 1);
+        EXPECT_EQ(0u, w.plus[last] & mask);
+        EXPECT_EQ(0u, w.minus[last] & mask);
+      }
+    }
+  }
+}
+
+TEST(Packed, ActivationRoundTripIsExact) {
+  for (int k : kLens) {
+    const int cols = 7;
+    const auto codes = random_acts(cols, k, 2000 + static_cast<unsigned>(k));
+    packed::PackedActivations a;
+    packed::pack_activations(codes.data(), cols, k, a);
+    std::vector<std::uint8_t> back(codes.size(), 99);
+    packed::unpack_activations(a, back.data());
+    EXPECT_EQ(codes, back) << "k=" << k;
+  }
+}
+
+TEST(Packed, PopcountGemmMatchesIntegerReference) {
+  for (int k : kLens) {
+    const int rows = 9;
+    const int cols = 13;
+    const auto wc = random_ternary(rows, k, 3000 + static_cast<unsigned>(k));
+    const auto ac = random_acts(cols, k, 4000 + static_cast<unsigned>(k));
+    packed::PackedWeights w;
+    packed::pack_weights(wc.data(), rows, k, w);
+    packed::PackedActivations a;
+    packed::pack_activations(ac.data(), cols, k, a);
+
+    std::vector<std::int32_t> got(static_cast<std::size_t>(rows) * cols, -7);
+    packed::Epilogue e;
+    e.mode = packed::Epilogue::Mode::kInt32;
+    e.s32 = got.data();
+    e.row_stride = static_cast<std::size_t>(cols);
+    e.col_stride = 1;
+    packed::popcount_gemm(w, a, e);
+
+    for (int r = 0; r < rows; ++r) {
+      for (int c = 0; c < cols; ++c) {
+        std::int32_t ref = 0;
+        for (int i = 0; i < k; ++i) {
+          ref += wc[static_cast<std::size_t>(r) * k + i] *
+                 static_cast<std::int32_t>(ac[static_cast<std::size_t>(c) * k + i]);
+        }
+        ASSERT_EQ(ref, got[static_cast<std::size_t>(r) * cols + c])
+            << "k=" << k << " r=" << r << " c=" << c;
+      }
+    }
+  }
+}
+
+TEST(Packed, EpiloguesMatchManualComposition) {
+  const int rows = 6, cols = 10, k = 91;
+  const auto wc = random_ternary(rows, k, 51);
+  const auto ac = random_acts(cols, k, 52);
+  packed::PackedWeights w;
+  packed::pack_weights(wc.data(), rows, k, w);
+  packed::PackedActivations a;
+  packed::pack_activations(ac.data(), cols, k, a);
+
+  std::vector<std::int32_t> s32(static_cast<std::size_t>(rows) * cols);
+  packed::Epilogue ei;
+  ei.mode = packed::Epilogue::Mode::kInt32;
+  ei.s32 = s32.data();
+  ei.row_stride = static_cast<std::size_t>(cols);
+  packed::popcount_gemm(w, a, ei);
+
+  Rng rng(53);
+  std::vector<float> scale(rows), bias(rows);
+  for (int r = 0; r < rows; ++r) {
+    scale[static_cast<std::size_t>(r)] =
+        static_cast<float>(rng.uniform() * 0.02 + 0.001);
+    bias[static_cast<std::size_t>(r)] =
+        static_cast<float>(rng.uniform() * 0.5 - 0.25);
+  }
+  const float act_scale = 0.8f;
+
+  // Quantize epilogue == manual z -> clamp -> round pipeline on the raw S.
+  std::vector<std::uint8_t> codes(static_cast<std::size_t>(rows) * cols, 99);
+  packed::Epilogue eq;
+  eq.mode = packed::Epilogue::Mode::kQuantize;
+  eq.scale = scale.data();
+  eq.bias = bias.data();
+  eq.act_scale = act_scale;
+  eq.act_levels = 3;
+  eq.codes = codes.data();
+  eq.row_stride = static_cast<std::size_t>(cols);
+  packed::popcount_gemm(w, a, eq);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      const std::size_t at = static_cast<std::size_t>(r) * cols + c;
+      const float z = scale[static_cast<std::size_t>(r)] *
+                          static_cast<float>(s32[at]) +
+                      bias[static_cast<std::size_t>(r)];
+      const float clamped = std::clamp(z, 0.0f, act_scale);
+      const auto want = static_cast<std::uint8_t>(
+          std::lround(clamped / act_scale * 3.0f));
+      ASSERT_EQ(want, codes[at]) << "r=" << r << " c=" << c;
+    }
+  }
+
+  // Logits epilogue with the linear layout (row_stride=1, col_stride=rows):
+  // element (r, c) lands batch-major.
+  std::vector<float> logits(static_cast<std::size_t>(rows) * cols, -1.0f);
+  packed::Epilogue el;
+  el.mode = packed::Epilogue::Mode::kLogits;
+  el.scale = scale.data();
+  el.logits = logits.data();
+  el.row_stride = 1;
+  el.col_stride = static_cast<std::size_t>(rows);
+  packed::popcount_gemm(w, a, el);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      const float want = scale[static_cast<std::size_t>(r)] *
+                         static_cast<float>(
+                             s32[static_cast<std::size_t>(r) * cols + c]);
+      ASSERT_EQ(want,
+                logits[static_cast<std::size_t>(c) * rows + r]);
+    }
+  }
+}
+
+TEST(Packed, AllSupportedIsaTiersAgreeBitwise) {
+  const std::string initial = packed::active_isa();
+  const int rows = 11, cols = 17, k = 257;
+  const auto wc = random_ternary(rows, k, 61);
+  const auto ac = random_acts(cols, k, 62);
+  packed::PackedWeights w;
+  packed::pack_weights(wc.data(), rows, k, w);
+  packed::PackedActivations a;
+  packed::pack_activations(ac.data(), cols, k, a);
+  std::vector<float> scale(rows, 0.003f), bias(rows, -0.1f);
+
+  std::vector<std::vector<std::int32_t>> s32_by_tier;
+  std::vector<std::vector<std::uint8_t>> codes_by_tier;
+  int tiers = 0;
+  for (const char* isa : {"scalar", "avx2", "avx512", "avx512vp"}) {
+    try {
+      packed::force_isa(isa);
+    } catch (const ConfigError&) {
+      continue;  // host lacks this tier
+    }
+    ++tiers;
+    std::vector<std::int32_t> s32(static_cast<std::size_t>(rows) * cols);
+    packed::Epilogue ei;
+    ei.mode = packed::Epilogue::Mode::kInt32;
+    ei.s32 = s32.data();
+    ei.row_stride = static_cast<std::size_t>(cols);
+    packed::popcount_gemm(w, a, ei);
+    s32_by_tier.push_back(std::move(s32));
+
+    std::vector<std::uint8_t> codes(static_cast<std::size_t>(rows) * cols);
+    packed::Epilogue eq;
+    eq.mode = packed::Epilogue::Mode::kQuantize;
+    eq.scale = scale.data();
+    eq.bias = bias.data();
+    eq.act_scale = 0.9f;
+    eq.codes = codes.data();
+    eq.row_stride = static_cast<std::size_t>(cols);
+    packed::popcount_gemm(w, a, eq);
+    codes_by_tier.push_back(std::move(codes));
+  }
+  packed::force_isa(initial.c_str());
+
+  ASSERT_GE(tiers, 1);  // scalar is always supported
+  for (std::size_t i = 1; i < s32_by_tier.size(); ++i) {
+    EXPECT_EQ(s32_by_tier[0], s32_by_tier[i]);
+    EXPECT_EQ(codes_by_tier[0], codes_by_tier[i]);
+  }
+}
+
+TEST(Packed, ForceIsaRejectsUnknownName) {
+  EXPECT_THROW(packed::force_isa("avx9000"), ConfigError);
+  EXPECT_THROW(packed::force_isa(nullptr), Error);
+}
+
+TEST(Packed, PackedModeEnvParsing) {
+  ::unsetenv("ADAPEX_PACKED");
+  EXPECT_EQ(packed_mode_from_env(), PackedMode::kAuto);
+  ::setenv("ADAPEX_PACKED", "0", 1);
+  EXPECT_EQ(packed_mode_from_env(), PackedMode::kOff);
+  ::setenv("ADAPEX_PACKED", "1", 1);
+  EXPECT_EQ(packed_mode_from_env(), PackedMode::kOn);
+  ::setenv("ADAPEX_PACKED", "auto", 1);
+  EXPECT_EQ(packed_mode_from_env(), PackedMode::kAuto);
+  ::setenv("ADAPEX_PACKED", "banana", 1);
+  EXPECT_THROW(packed_mode_from_env(), ConfigError);  // rule RQ3
+  ::unsetenv("ADAPEX_PACKED");
+}
+
+// ------------------------------------------------------------- model level
+
+/// One trained tiny CNV with exits shared across the model-level tests.
+struct TrainedFixture {
+  SyntheticDataset data;
+  BranchyModel model;
+};
+
+TrainedFixture& trained() {
+  static TrainedFixture* fx = [] {
+    SyntheticSpec spec = cifar10_like_spec();
+    spec.train_size = 96;
+    spec.test_size = 64;
+    Rng rng(42);
+    CnvConfig cfg = CnvConfig{}.scaled(0.125);
+    cfg.num_classes = spec.num_classes;
+    auto* f = new TrainedFixture{
+        make_synthetic(spec),
+        build_cnv_with_exits(cfg, paper_exits_config(false), rng)};
+    TrainConfig tc;
+    tc.epochs = 1;
+    tc.batch_size = 16;
+    train_model(f->model, f->data.train, spec.flip_symmetry, tc);
+    return f;
+  }();
+  return *fx;
+}
+
+TEST(PackedModel, FreezeEligibilityAndRq1) {
+  TrainedFixture& fx = trained();
+  std::vector<std::string> reasons;
+  EXPECT_TRUE(can_freeze(fx.model, &reasons)) << (reasons.empty()
+                                                      ? std::string()
+                                                      : reasons.front());
+  EXPECT_TRUE(reasons.empty());
+
+  // A wider-bit model must be rejected with an aggregated RQ1 error.
+  Rng rng(7);
+  CnvConfig wide = CnvConfig{}.scaled(0.125);
+  wide.weight_bits = 4;
+  BranchyModel w4 = build_cnv(wide, rng);
+  reasons.clear();
+  EXPECT_FALSE(can_freeze(w4, &reasons));
+  EXPECT_FALSE(reasons.empty());
+  try {
+    freeze_packed(w4);
+    FAIL() << "freeze_packed should reject a W4 model";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("RQ1"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("weight_bits=4"), std::string::npos);
+  }
+}
+
+TEST(PackedModel, ForwardMatchesFloatLogitsAndDecisionsAtEveryTier) {
+  TrainedFixture& fx = trained();
+  const PackedModel frozen = freeze_packed(fx.model);
+
+  std::vector<int> order(32);
+  for (int i = 0; i < 32; ++i) order[static_cast<std::size_t>(i)] = i;
+  const Tensor batch = fx.data.test.batch_images(order.data(), 32);
+  const auto float_logits = fx.model.forward(batch, /*train=*/false);
+
+  const std::string initial = packed::active_isa();
+  for (const char* isa : {"scalar", "avx2", "avx512", "avx512vp"}) {
+    try {
+      packed::force_isa(isa);
+    } catch (const ConfigError&) {
+      continue;
+    }
+    PackedScratch scratch;
+    const auto packed_logits = packed_forward(frozen, batch, scratch);
+    ASSERT_EQ(float_logits.size(), packed_logits.size()) << isa;
+    for (std::size_t e = 0; e < float_logits.size(); ++e) {
+      ASSERT_EQ(float_logits[e].shape(), packed_logits[e].shape()) << isa;
+      for (int n = 0; n < float_logits[e].dim(0); ++n) {
+        int fbest = 0, pbest = 0;
+        for (int c = 1; c < float_logits[e].dim(1); ++c) {
+          if (float_logits[e].at2(n, c) > float_logits[e].at2(n, fbest)) {
+            fbest = c;
+          }
+          if (packed_logits[e].at2(n, c) > packed_logits[e].at2(n, pbest)) {
+            pbest = c;
+          }
+        }
+        // Bitwise decision agreement; logits agree to a tight tolerance
+        // (the packed reduction is exact, only the folded epilogue and the
+        // float path's accumulation order differ).
+        ASSERT_EQ(fbest, pbest) << isa << " exit=" << e << " n=" << n;
+        for (int c = 0; c < float_logits[e].dim(1); ++c) {
+          ASSERT_NEAR(float_logits[e].at2(n, c), packed_logits[e].at2(n, c),
+                      2e-4)
+              << isa << " exit=" << e << " n=" << n << " c=" << c;
+        }
+      }
+    }
+  }
+  packed::force_isa(initial.c_str());
+}
+
+TEST(PackedModel, EvaluateExitsDecisionIdentityPackedVsFloat) {
+  TrainedFixture& fx = trained();
+  const auto f = evaluate_exits(fx.model, fx.data.test, 16, 1,
+                                PackedMode::kOff);
+  const auto p = evaluate_exits(fx.model, fx.data.test, 16, 1,
+                                PackedMode::kOn);
+  ASSERT_EQ(f.correct.size(), p.correct.size());
+  for (std::size_t s = 0; s < f.correct.size(); ++s) {
+    // Argmax-correctness must agree bitwise sample by sample...
+    ASSERT_TRUE(f.correct[s] == p.correct[s]) << "sample " << s;
+    for (std::size_t e = 0; e < f.confidence[s].size(); ++e) {
+      ASSERT_NEAR(f.confidence[s][e], p.confidence[s][e], 2e-4);
+    }
+  }
+  // ...and so must every threshold decision the library sweep derives.
+  for (int t = 0; t <= 100; t += 5) {
+    const auto sf = apply_threshold(f, t / 100.0);
+    const auto sp = apply_threshold(p, t / 100.0);
+    ASSERT_EQ(sf.accuracy, sp.accuracy) << "threshold " << t;
+    ASSERT_EQ(sf.exit_fraction, sp.exit_fraction) << "threshold " << t;
+  }
+}
+
+TEST(PackedModel, PackedEvalByteIdenticalAcrossThreadCounts) {
+  TrainedFixture& fx = trained();
+  const auto serial = evaluate_exits(fx.model, fx.data.test, 16, 1,
+                                     PackedMode::kOn);
+  for (int threads : {2, 4}) {
+    const auto parallel = evaluate_exits(fx.model, fx.data.test, 16, threads,
+                                         PackedMode::kOn);
+    ASSERT_EQ(serial.confidence.size(), parallel.confidence.size());
+    for (std::size_t s = 0; s < serial.confidence.size(); ++s) {
+      ASSERT_EQ(0, std::memcmp(serial.confidence[s].data(),
+                               parallel.confidence[s].data(),
+                               serial.confidence[s].size() * sizeof(float)))
+          << "threads=" << threads << " sample=" << s;
+      ASSERT_TRUE(serial.correct[s] == parallel.correct[s]);
+    }
+  }
+}
+
+TEST(PackedModel, ResolvedEvalPathFollowsModeAndModel) {
+  TrainedFixture& fx = trained();
+  EXPECT_STREQ("float", resolved_eval_path(fx.model, PackedMode::kOff));
+  EXPECT_STREQ("packed", resolved_eval_path(fx.model, PackedMode::kOn));
+  EXPECT_STREQ("packed", resolved_eval_path(fx.model, PackedMode::kAuto));
+  Rng rng(7);
+  CnvConfig wide = CnvConfig{}.scaled(0.125);
+  wide.weight_bits = 4;
+  BranchyModel w4 = build_cnv(wide, rng);
+  EXPECT_STREQ("float", resolved_eval_path(w4, PackedMode::kAuto));
+}
+
+// ------------------------------------------------------------ library level
+
+TEST(PackedLibrary, ByteIdenticalPackedOnVsOffAtAnyThreadCount) {
+  auto spec = make_gen_spec(cifar10_like_spec(), ExperimentScale::tiny());
+  spec.prune_rates_pct = {0, 50};
+  spec.conf_thresholds_pct = {0, 50, 100};
+
+  spec.eval_path = "float";
+  spec.num_threads = 1;
+  GenerationReport float_report;
+  spec.report = &float_report;
+  const std::string float_bytes =
+      generate_library(spec).to_json().dump(1);
+
+  spec.eval_path = "packed";
+  spec.num_threads = 2;
+  GenerationReport packed_report;
+  spec.report = &packed_report;
+  const std::string packed_bytes =
+      generate_library(spec).to_json().dump(1);
+
+  EXPECT_EQ(float_bytes, packed_bytes);
+
+  // The report records which path evaluated each computed point.
+  ASSERT_FALSE(float_report.points.empty());
+  for (const auto& pt : float_report.points) {
+    EXPECT_EQ("float", pt.eval_path) << "point " << pt.index;
+  }
+  for (const auto& pt : packed_report.points) {
+    EXPECT_EQ("packed", pt.eval_path) << "point " << pt.index;
+  }
+}
+
+TEST(PackedLibrary, LintRulesRq2Rq3) {
+  auto spec = make_gen_spec(cifar10_like_spec(), ExperimentScale::tiny());
+
+  spec.eval_path = "sideways";
+  auto report = lint_gen_spec(spec);
+  EXPECT_TRUE(report.has_errors());
+  EXPECT_NE(report.error_message().find("RQ2"), std::string::npos);
+
+  spec.eval_path = "auto";
+  ::setenv("ADAPEX_PACKED", "banana", 1);
+  report = lint_gen_spec(spec);
+  EXPECT_TRUE(report.has_errors());
+  EXPECT_NE(report.error_message().find("RQ3"), std::string::npos);
+
+  // Spec/environment contradiction: valid but surfaced as an RQ2 warning.
+  spec.eval_path = "float";
+  ::setenv("ADAPEX_PACKED", "1", 1);
+  report = lint_gen_spec(spec);
+  EXPECT_FALSE(report.has_errors());
+  bool warned = false;
+  for (const auto& f : report.diagnostics) {
+    if (f.rule_id == "RQ2") warned = true;
+  }
+  EXPECT_TRUE(warned);
+  ::unsetenv("ADAPEX_PACKED");
+
+  spec.eval_path = "auto";
+  report = lint_gen_spec(spec);
+  for (const auto& f : report.diagnostics) {
+    EXPECT_NE(f.rule_id.substr(0, 2), "RQ") << f.message;
+  }
+}
+
+}  // namespace
+}  // namespace adapex
